@@ -1,0 +1,2 @@
+//! Benchmark harness for the HeatViT reproduction (see `src/bin/` for per-table/figure binaries).
+pub use heatvit_vit as vit;

@@ -1,0 +1,1 @@
+//! placeholder (implementation in progress)

@@ -1,0 +1,39 @@
+//! # heatvit-data
+//!
+//! Procedural synthetic image-classification data — the ImageNet-1K
+//! substitute for the [HeatViT](https://arxiv.org/abs/2211.08110)
+//! reproduction (see `DESIGN.md` §1 for the substitution argument).
+//!
+//! Each class is a geometric texture family ([`ShapeFamily`]) composited at a
+//! random location and scale over background clutter, so that:
+//!
+//! * patches overlapping the object are informative, background patches are
+//!   prunable (the redundancy token pruning exploits);
+//! * the informative-region size varies per image (what image-*adaptive*
+//!   pruning exploits over static pruning, paper Fig. 4);
+//! * the per-sample coverage is recorded ([`Sample::object_fraction`]) so
+//!   experiments can correlate learned keep rates with content.
+//!
+//! ## Example
+//!
+//! ```
+//! use heatvit_data::{Loader, SyntheticConfig, SyntheticDataset};
+//!
+//! let ds = SyntheticDataset::generate(SyntheticConfig::micro(), 64, 0);
+//! let (train, val) = ds.split(0.25);
+//! let loader = Loader::new(&train, 16, true, 0);
+//! for batch in loader.iter_epoch(0) {
+//!     assert!(batch.len() <= 16);
+//!     assert_eq!(batch.samples[0].image.dims(), &[3, 32, 32]);
+//! }
+//! assert_eq!(val.len(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod augment;
+mod loader;
+mod synthetic;
+
+pub use loader::{Batch, Loader};
+pub use synthetic::{generate_sample, Sample, ShapeFamily, SyntheticConfig, SyntheticDataset};

@@ -1,0 +1,145 @@
+//! Mini-batch iteration with optional shuffling.
+
+use crate::synthetic::{Sample, SyntheticDataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A mini-batch of borrowed samples.
+#[derive(Debug)]
+pub struct Batch<'a> {
+    /// The samples in this batch.
+    pub samples: Vec<&'a Sample>,
+}
+
+impl Batch<'_> {
+    /// Labels of the batch, in order.
+    pub fn labels(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Deterministic mini-batch loader over a [`SyntheticDataset`].
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_data::{Loader, SyntheticConfig, SyntheticDataset};
+///
+/// let ds = SyntheticDataset::generate(SyntheticConfig::tiny(), 10, 0);
+/// let loader = Loader::new(&ds, 4, true, 1);
+/// let batches: Vec<_> = loader.iter_epoch(0).collect();
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2
+/// assert_eq!(batches[2].len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Loader<'a> {
+    dataset: &'a SyntheticDataset,
+    batch_size: usize,
+    shuffle: bool,
+    seed: u64,
+}
+
+impl<'a> Loader<'a> {
+    /// Creates a loader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(dataset: &'a SyntheticDataset, batch_size: usize, shuffle: bool, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            dataset,
+            batch_size,
+            shuffle,
+            seed,
+        }
+    }
+
+    /// Number of batches per epoch (last batch may be partial).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.dataset.len().div_ceil(self.batch_size)
+    }
+
+    /// Iterates one epoch. The permutation depends on `(seed, epoch)` so
+    /// every epoch reshuffles but the whole run stays reproducible.
+    pub fn iter_epoch(&self, epoch: u64) -> impl Iterator<Item = Batch<'a>> + '_ {
+        let mut order: Vec<usize> = (0..self.dataset.len()).collect();
+        if self.shuffle {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(epoch));
+            order.shuffle(&mut rng);
+        }
+        let dataset = self.dataset;
+        let batch_size = self.batch_size;
+        (0..self.batches_per_epoch()).map(move |b| {
+            let lo = b * batch_size;
+            let hi = (lo + batch_size).min(order.len());
+            Batch {
+                samples: order[lo..hi].iter().map(|&i| dataset.sample(i)).collect(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::generate(SyntheticConfig::tiny(), 13, 0)
+    }
+
+    #[test]
+    fn covers_every_sample_exactly_once() {
+        let ds = dataset();
+        let loader = Loader::new(&ds, 5, true, 3);
+        let mut seen = vec![0usize; ds.len()];
+        for batch in loader.iter_epoch(0) {
+            for s in &batch.samples {
+                // Identify samples by pointer into the dataset.
+                let idx = (0..ds.len())
+                    .find(|&i| std::ptr::eq(ds.sample(i), *s))
+                    .unwrap();
+                seen[idx] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn shuffling_differs_across_epochs() {
+        let ds = dataset();
+        let loader = Loader::new(&ds, 13, true, 3);
+        let labels0 = loader.iter_epoch(0).next().unwrap().labels();
+        let labels1 = loader.iter_epoch(1).next().unwrap().labels();
+        assert_ne!(labels0, labels1);
+    }
+
+    #[test]
+    fn unshuffled_is_in_order() {
+        let ds = dataset();
+        let loader = Loader::new(&ds, 4, false, 0);
+        let first = loader.iter_epoch(0).next().unwrap();
+        assert_eq!(first.labels(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_epoch_same_seed_is_identical() {
+        let ds = dataset();
+        let loader = Loader::new(&ds, 6, true, 9);
+        let a: Vec<Vec<usize>> = loader.iter_epoch(4).map(|b| b.labels()).collect();
+        let b: Vec<Vec<usize>> = loader.iter_epoch(4).map(|b| b.labels()).collect();
+        assert_eq!(a, b);
+    }
+}

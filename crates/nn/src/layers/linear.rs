@@ -1,0 +1,220 @@
+//! Fully-connected (linear) layer.
+
+use crate::{Module, Param, Tape, Var};
+use heatvit_tensor::Tensor;
+use rand::Rng;
+
+/// A fully-connected layer `y = x·W + b`.
+///
+/// Weights are stored `[in_features, out_features]` so the forward pass is a
+/// single row-major GEMM — the exact shape the FPGA GEMM engine consumes.
+/// HeatViT's token selector is built entirely from this layer (paper
+/// Section IV: "we design our token selector with linear layers … to reuse
+/// the GEMM hardware component").
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_nn::{layers::Linear, Tape, Module};
+/// use heatvit_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let layer = Linear::new(8, 4, true, &mut rng);
+/// assert_eq!(layer.num_parameters(), 8 * 4 + 4);
+///
+/// // Differentiable path:
+/// let mut tape = Tape::new();
+/// let x = tape.constant(Tensor::ones(&[3, 8]));
+/// let y = layer.forward(&mut tape, x);
+/// assert_eq!(tape.dims(y), &[3, 4]);
+///
+/// // Inference path (no tape):
+/// let y2 = layer.infer(&Tensor::ones(&[3, 8]));
+/// assert!(tape.value(y).allclose(&y2, 1e-6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut impl Rng) -> Self {
+        let weight = Param::new(
+            format!("linear[{in_features}x{out_features}].weight"),
+            Tensor::xavier_uniform(in_features, out_features, rng),
+        );
+        let bias = bias.then(|| {
+            Param::new(
+                format!("linear[{in_features}x{out_features}].bias"),
+                Tensor::zeros(&[out_features]),
+            )
+        });
+        Self {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Creates a layer from explicit tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not rank 2 or `bias` length mismatches.
+    pub fn from_tensors(weight: Tensor, bias: Option<Tensor>) -> Self {
+        assert_eq!(weight.rank(), 2, "linear weight must be rank 2");
+        let (in_features, out_features) = (weight.dim(0), weight.dim(1));
+        if let Some(b) = &bias {
+            assert_eq!(b.dims(), &[out_features], "bias must be [out_features]");
+        }
+        Self {
+            weight: Param::new("linear.weight", weight),
+            bias: bias.map(|b| Param::new("linear.bias", b)),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The bias parameter, if present.
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
+
+    /// Differentiable forward: records onto `tape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, in_features]`.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        assert_eq!(
+            tape.dims(x)[1],
+            self.in_features,
+            "linear input width mismatch"
+        );
+        let w = tape.param(&self.weight);
+        let y = tape.matmul(x, w);
+        match &self.bias {
+            Some(b) => {
+                let bv = tape.param(b);
+                tape.add_row_broadcast(y, bv)
+            }
+            None => y,
+        }
+    }
+
+    /// Inference forward (no tape, no gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, in_features]`.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dim(1), self.in_features, "linear input width mismatch");
+        match &self.bias {
+            Some(b) => x.matmul_bias(self.weight.value(), b.value()),
+            None => x.matmul(self.weight.value()),
+        }
+    }
+
+    /// Multiply–accumulate count for an input of `n` rows (used by the
+    /// complexity model and the FPGA scheduler).
+    pub fn macs(&self, n: usize) -> u64 {
+        n as u64 * self.in_features as u64 * self.out_features as u64
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_infer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(5, 3, true, &mut rng);
+        let x = Tensor::rand_normal(&[4, 5], 0.0, 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let y = layer.forward(&mut tape, xv);
+        assert!(tape.value(y).allclose(&layer.infer(&x), 1e-6));
+    }
+
+    #[test]
+    fn no_bias_variant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(4, 4, false, &mut rng);
+        assert_eq!(layer.params().len(), 1);
+        assert_eq!(layer.num_parameters(), 16);
+    }
+
+    #[test]
+    fn gradients_flow_to_weight_and_bias() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Linear::new(3, 2, true, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 3]));
+        let y = layer.forward(&mut tape, x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        tape.write_grads(&grads, layer.params_mut());
+        assert!(layer.weight().grad().is_some());
+        assert!(layer.bias().unwrap().grad().is_some());
+        // d(sum)/dW = xᵀ·1: every weight grad element equals #rows = 2.
+        assert_eq!(layer.weight().grad().unwrap().data(), &[2.0; 6]);
+        assert_eq!(layer.bias().unwrap().grad().unwrap().data(), &[2.0; 2]);
+    }
+
+    #[test]
+    fn macs_formula() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Linear::new(192, 768, true, &mut rng);
+        assert_eq!(layer.macs(197), 197 * 192 * 768);
+    }
+
+    #[test]
+    fn from_tensors_roundtrip() {
+        let w = Tensor::eye(3);
+        let layer = Linear::from_tensors(w, Some(Tensor::zeros(&[3])));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        assert!(layer.infer(&x).allclose(&x, 0.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Two-layer perceptron (the ViT FFN shape).
+
+use crate::layers::{Activation, Linear};
+use crate::{Module, Param, Tape, Var};
+use heatvit_tensor::Tensor;
+use rand::Rng;
+
+/// A two-layer MLP `x → act(x·W₁ + b₁)·W₂ + b₂`.
+///
+/// This is both the ViT feed-forward network (hidden = 4×dim) and the basic
+/// building block of the token classifier's local/global feature extractors.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_nn::layers::{Activation, Mlp};
+/// use heatvit_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(16, 64, 16, Activation::Gelu, &mut rng);
+/// let y = mlp.infer(&Tensor::ones(&[2, 16]));
+/// assert_eq!(y.dims(), &[2, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+    act: Activation,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given widths and activation.
+    pub fn new(
+        in_features: usize,
+        hidden_features: usize,
+        out_features: usize,
+        act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            fc1: Linear::new(in_features, hidden_features, true, rng),
+            fc2: Linear::new(hidden_features, out_features, true, rng),
+            act,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.fc1.in_features()
+    }
+
+    /// Hidden width.
+    pub fn hidden_features(&self) -> usize {
+        self.fc1.out_features()
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.fc2.out_features()
+    }
+
+    /// The configured activation.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
+    /// First linear layer.
+    pub fn fc1(&self) -> &Linear {
+        &self.fc1
+    }
+
+    /// Second linear layer.
+    pub fn fc2(&self) -> &Linear {
+        &self.fc2
+    }
+
+    /// Differentiable forward.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let h = self.fc1.forward(tape, x);
+        let h = self.act.forward(tape, h);
+        self.fc2.forward(tape, h)
+    }
+
+    /// Inference forward (no tape).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let h = self.act.infer(&self.fc1.infer(x));
+        self.fc2.infer(&h)
+    }
+
+    /// Multiply–accumulate count for `n` input rows.
+    pub fn macs(&self, n: usize) -> u64 {
+        self.fc1.macs(n) + self.fc2.macs(n)
+    }
+}
+
+impl Module for Mlp {
+    fn params(&self) -> Vec<&Param> {
+        let mut v = self.fc1.params();
+        v.extend(self.fc2.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.fc1.params_mut();
+        v.extend(self.fc2.params_mut());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(8, 32, 4, Activation::Gelu, &mut rng);
+        assert_eq!(mlp.num_parameters(), 8 * 32 + 32 + 32 * 4 + 4);
+        assert_eq!(mlp.infer(&Tensor::ones(&[5, 8])).dims(), &[5, 4]);
+    }
+
+    #[test]
+    fn forward_matches_infer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(6, 12, 6, Activation::Hardswish, &mut rng);
+        let x = Tensor::rand_normal(&[3, 6], 0.0, 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let y = mlp.forward(&mut tape, xv);
+        assert!(tape.value(y).allclose(&mlp.infer(&x), 1e-5));
+    }
+
+    #[test]
+    fn macs_sum_both_layers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(10, 40, 10, Activation::Gelu, &mut rng);
+        assert_eq!(mlp.macs(7), 7 * (10 * 40 + 40 * 10));
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(4, 8, 2, Activation::Relu, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng));
+        let y = mlp.forward(&mut tape, x);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        tape.write_grads(&grads, mlp.params_mut());
+        for p in mlp.params() {
+            assert!(p.grad().is_some(), "missing grad for {}", p.name());
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Neural-network layers: linear, layer normalization, activations, MLP.
+
+mod activation;
+mod linear;
+mod mlp;
+mod norm;
+
+pub use activation::Activation;
+pub use linear::Linear;
+pub use mlp::Mlp;
+pub use norm::LayerNorm;

@@ -1,0 +1,140 @@
+//! Layer normalization.
+
+use crate::{Module, Param, Tape, Var};
+use heatvit_tensor::Tensor;
+
+/// Layer normalization over the channel (last) dimension with a learnable
+/// affine transform.
+///
+/// In the HeatViT accelerator this is the one component executed on the ARM
+/// CPU rather than the FPGA fabric ("less time consuming but more complex to
+/// implement", paper Section V); the simulator charges it accordingly.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_nn::layers::LayerNorm;
+/// use heatvit_tensor::Tensor;
+///
+/// let ln = LayerNorm::new(4);
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+/// let y = ln.infer(&x);
+/// // Unit-affine LayerNorm output has zero mean and unit variance per row.
+/// assert!(y.mean_all().abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    dim: usize,
+}
+
+impl LayerNorm {
+    /// Default variance stabilizer, matching PyTorch's `LayerNorm`.
+    pub const DEFAULT_EPS: f32 = 1e-5;
+
+    /// Creates a layer with `gamma = 1`, `beta = 0`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Param::new(format!("layernorm[{dim}].gamma"), Tensor::ones(&[dim])),
+            beta: Param::new(format!("layernorm[{dim}].beta"), Tensor::zeros(&[dim])),
+            eps: Self::DEFAULT_EPS,
+            dim,
+        }
+    }
+
+    /// Normalized width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Differentiable forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, dim]`.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        assert_eq!(tape.dims(x)[1], self.dim, "layernorm width mismatch");
+        let g = tape.param(&self.gamma);
+        let b = tape.param(&self.beta);
+        tape.layer_norm(x, g, b, self.eps)
+    }
+
+    /// Inference forward (no tape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, dim]`.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dim(1), self.dim, "layernorm width mismatch");
+        let (rows, cols) = (x.dim(0), x.dim(1));
+        let (means, vars) = x.row_mean_var();
+        let g = self.gamma.value().data();
+        let b = self.beta.value().data();
+        let mut out = Tensor::zeros(&[rows, cols]);
+        for r in 0..rows {
+            let inv_std = 1.0 / (vars[r] + self.eps).sqrt();
+            let xrow = x.row(r);
+            let orow = out.row_mut(r);
+            for j in 0..cols {
+                orow[j] = (xrow[j] - means[r]) * inv_std * g[j] + b[j];
+            }
+        }
+        out
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows() {
+        let ln = LayerNorm::new(8);
+        let x = Tensor::from_fn(&[3, 8], |ix| (ix[0] * 8 + ix[1]) as f32);
+        let y = ln.infer(&x);
+        for r in 0..3 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn forward_matches_infer() {
+        let ln = LayerNorm::new(5);
+        let x = Tensor::from_fn(&[2, 5], |ix| ix[1] as f32 * 0.7 - 1.0);
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let y = ln.forward(&mut tape, xv);
+        assert!(tape.value(y).allclose(&ln.infer(&x), 1e-6));
+    }
+
+    #[test]
+    fn constant_row_maps_to_beta() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::full(&[1, 4], 5.0);
+        let y = ln.infer(&x);
+        // Zero variance → x̂ = 0 → output = beta = 0.
+        assert!(y.data().iter().all(|&v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn has_two_parameter_tensors() {
+        let ln = LayerNorm::new(16);
+        assert_eq!(ln.params().len(), 2);
+        assert_eq!(ln.num_parameters(), 32);
+    }
+}

@@ -1,0 +1,82 @@
+//! # heatvit-nn
+//!
+//! Reverse-mode automatic differentiation and neural-network building blocks
+//! for the [HeatViT](https://arxiv.org/abs/2211.08110) reproduction.
+//!
+//! The centerpiece is [`Tape`], a single-use define-by-run autograd arena:
+//! each training step records the forward computation as nodes, then
+//! [`Tape::backward`] replays them in reverse to produce [`Gradients`].
+//! Layers ([`layers::Linear`], [`layers::LayerNorm`], [`layers::Mlp`],
+//! [`layers::Activation`]) own their [`Param`]s and expose both a
+//! differentiable `forward(&mut Tape, Var)` and a fast tape-free
+//! `infer(&Tensor)` path — the latter is what the quantizer and the FPGA
+//! simulator consume.
+//!
+//! The operation set is deliberately exactly what HeatViT needs: GEMM-shaped
+//! linear algebra, ViT nonlinearities, row/column broadcasts for token
+//! keep-masks and head weighting (paper Eqs. 3–10), structural ops for head
+//! split/merge and dense token repacking, and fused losses (cross-entropy,
+//! DeiT-style distillation KL, MSE for the latency-sparsity target).
+//!
+//! ## Example: one SGD step
+//!
+//! ```
+//! use heatvit_nn::{layers::Linear, optim::{Optimizer, Sgd}, Module, Tape};
+//! use heatvit_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut layer = Linear::new(4, 2, true, &mut rng);
+//! let mut opt = Sgd::new(0.1);
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Tensor::ones(&[8, 4]));
+//! let logits = layer.forward(&mut tape, x);
+//! let loss = tape.cross_entropy(logits, &[0, 1, 0, 1, 0, 1, 0, 1]);
+//! let grads = tape.backward(loss);
+//! tape.write_grads(&grads, layer.params_mut());
+//! opt.step(layer.params_mut());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod layers;
+mod op;
+pub mod optim;
+mod param;
+mod tape;
+
+pub use param::{Module, Param};
+pub use tape::{Gradients, Tape, Var};
+
+use heatvit_tensor::Tensor;
+
+/// Classification accuracy of `logits` `[B, C]` against integer targets.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.dim(0)`.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_nn::accuracy;
+/// use heatvit_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 3.0], &[2, 2]);
+/// assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+/// ```
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(logits.dim(0), targets.len(), "one target per row required");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f32 / targets.len() as f32
+}

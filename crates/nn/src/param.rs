@@ -1,0 +1,172 @@
+//! Trainable parameters and the module trait.
+
+use heatvit_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A trainable tensor: value plus accumulated gradient.
+///
+/// Every `Param` carries a process-unique id so that optimizers can keep
+/// per-parameter state (momentum, Adam moments) across steps, and so the
+/// [`Tape`](crate::Tape) can route gradients back after `backward`.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_nn::Param;
+/// use heatvit_tensor::Tensor;
+///
+/// let mut p = Param::new("w", Tensor::zeros(&[2, 2]));
+/// assert!(p.grad().is_none());
+/// p.accumulate_grad(&Tensor::ones(&[2, 2]));
+/// p.accumulate_grad(&Tensor::ones(&[2, 2]));
+/// assert_eq!(p.grad().unwrap().data(), &[2.0; 4]);
+/// p.zero_grad();
+/// assert!(p.grad().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    id: u64,
+    name: String,
+    value: Tensor,
+    grad: Option<Tensor>,
+}
+
+impl Param {
+    /// Creates a parameter with a fresh unique id.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Self {
+            id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+            value,
+            grad: None,
+        }
+    }
+
+    /// The process-unique parameter id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable access to the value (used by optimizers and weight loading).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// The accumulated gradient, if any backward pass has produced one.
+    pub fn grad(&self) -> Option<&Tensor> {
+        self.grad.as_ref()
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s shape differs from the parameter's.
+    pub fn accumulate_grad(&mut self, g: &Tensor) {
+        assert_eq!(
+            g.dims(),
+            self.value.dims(),
+            "gradient shape must match parameter shape"
+        );
+        match &mut self.grad {
+            Some(acc) => *acc = acc.add(g),
+            None => self.grad = Some(g.clone()),
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = None;
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+/// A container of trainable parameters.
+///
+/// Implemented by every layer and model in the workspace; composite modules
+/// concatenate their children's parameter lists. The two accessors exist so
+/// both read-only inspection (parameter counting, weight export) and
+/// optimizer updates are possible.
+pub trait Module {
+    /// Immutable views of all parameters, in a stable order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable views of all parameters, in the same order as [`Module::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Total number of trainable scalars.
+    fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Clears gradients on every parameter.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Param::new("a", Tensor::zeros(&[1]));
+        let b = Param::new("b", Tensor::zeros(&[1]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn clone_keeps_id() {
+        // Cloning a Param (e.g. snapshotting a teacher model) keeps the id:
+        // optimizer state continuity is the caller's concern.
+        let a = Param::new("a", Tensor::zeros(&[1]));
+        assert_eq!(a.clone().id(), a.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape")]
+    fn grad_shape_checked() {
+        let mut p = Param::new("p", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn module_counts_parameters() {
+        struct Two(Param, Param);
+        impl Module for Two {
+            fn params(&self) -> Vec<&Param> {
+                vec![&self.0, &self.1]
+            }
+            fn params_mut(&mut self) -> Vec<&mut Param> {
+                vec![&mut self.0, &mut self.1]
+            }
+        }
+        let mut m = Two(
+            Param::new("a", Tensor::zeros(&[2, 3])),
+            Param::new("b", Tensor::zeros(&[3])),
+        );
+        assert_eq!(m.num_parameters(), 9);
+        m.params_mut()[0].accumulate_grad(&Tensor::ones(&[2, 3]));
+        m.zero_grad();
+        assert!(m.params()[0].grad().is_none());
+    }
+}

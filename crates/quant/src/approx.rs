@@ -1,0 +1,247 @@
+//! Polynomial approximations of ViT nonlinear functions (paper Section V-D).
+//!
+//! The Vitis HLS math library implements `exp`/`erf` with deep pipelines that
+//! burn hundreds of LUT/FF and several DSPs (paper Table III). HeatViT
+//! replaces them with short polynomials — second-order for `erf` (Eq. 11,
+//! after I-BERT) and for the softmax exponent (Eq. 14 plus a shift), and a
+//! piecewise-linear sigmoid (PLAN) — and *deliberately scales the outputs by
+//! regularization factors* `δ₁, δ₂ < 1` so downstream quantization error
+//! shrinks (Section V-E).
+
+use heatvit_tensor::Tensor;
+
+/// Coefficient `a` of the erf polynomial (Eq. 11).
+pub const ERF_A: f32 = -0.2888;
+/// Coefficient `b` of the erf polynomial (Eq. 11).
+pub const ERF_B: f32 = -1.769;
+/// Default regularization factor δ₁ for GELU (paper uses 0.5).
+pub const DEFAULT_DELTA1: f32 = 0.5;
+/// Default regularization factor δ₂ for Softmax (paper uses 0.5).
+pub const DEFAULT_DELTA2: f32 = 0.5;
+
+/// Second-order polynomial approximation of `erf` (paper Eq. 11):
+///
+/// `L_erf(x) = sign(x) · δ₁ · [a·(clip(|x|, max=−b) + b)² + 1]`
+///
+/// With `δ₁ = 1` this is the I-BERT approximation; HeatViT sets `δ₁ < 1`
+/// to regularize quantization error.
+pub fn erf_approx(x: f32, delta1: f32) -> f32 {
+    let clipped = x.abs().min(-ERF_B);
+    let val = ERF_A * (clipped + ERF_B) * (clipped + ERF_B) + 1.0;
+    x.signum() * delta1 * val
+}
+
+/// Approximated GELU (paper Eq. 12):
+/// `GELU_aprx(x) = x/2 · (1 + L_erf(x/√2))`.
+pub fn gelu_approx(x: f32, delta1: f32) -> f32 {
+    0.5 * x * (1.0 + erf_approx(x / std::f32::consts::SQRT_2, delta1))
+}
+
+/// Derivative of the approximated GELU (used by Fig. 10 and the Eq. 15
+/// error argument). Derived analytically from Eqs. 11–12.
+pub fn gelu_approx_derivative(x: f32, delta1: f32) -> f32 {
+    let s = x / std::f32::consts::SQRT_2;
+    let l = erf_approx(s, delta1);
+    // d/dx [x/2·(1 + L(x/√2))] = (1 + L)/2 + x/2 · L'(x/√2) / √2
+    let lprime = if s.abs() >= -ERF_B {
+        0.0
+    } else {
+        // Inside the clip: L(s) = sign(s)·δ·[a(|s|+b)²+1]
+        // dL/ds = δ·a·2(|s|+b)·sign(s)·d|s|/ds = 2δ·a·(|s|+b)
+        2.0 * delta1 * ERF_A * (s.abs() + ERF_B)
+    };
+    0.5 * (1.0 + l) + 0.5 * x * lprime / std::f32::consts::SQRT_2
+}
+
+/// Polynomial approximation of `exp(p)` on `p ∈ (−ln2, 0]` (paper Eq. 14).
+pub fn exp_poly(p: f32) -> f32 {
+    0.3585 * (p + 1.353) * (p + 1.353) + 0.344
+}
+
+/// Shift-based approximation of `exp(x̃)` for `x̃ ≤ 0` (paper Section V-D):
+/// decompose `x̃ = −ln2·z + p`, compute `exp(p)` with [`exp_poly`] and apply
+/// the power of two as a right shift.
+pub fn exp_shift(x_tilde: f32) -> f32 {
+    debug_assert!(x_tilde <= 1e-6, "exp_shift expects non-positive input");
+    let z = (-x_tilde / std::f32::consts::LN_2).floor();
+    let p = x_tilde + z * std::f32::consts::LN_2;
+    // exp(p) >> z
+    exp_poly(p) / (2.0f32).powi(z as i32)
+}
+
+/// Approximated softmax over each row (paper Eq. 13):
+/// `Softmax_aprx(xᵢ) = δ₂ · exp̃(xᵢ − x_max) / Σⱼ exp̃(xⱼ − x_max)`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 2.
+pub fn softmax_approx_rows(x: &Tensor, delta2: f32) -> Tensor {
+    assert_eq!(x.rank(), 2, "softmax_approx_rows requires rank 2");
+    let mut out = x.clone();
+    let cols = x.dim(1);
+    for row in out.data_mut().chunks_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = exp_shift(*v - max);
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v = delta2 * *v / sum;
+        }
+    }
+    out
+}
+
+/// Piecewise-linear sigmoid (PLAN, Tsmots et al. — paper reference [46]).
+pub fn sigmoid_plan(x: f32) -> f32 {
+    let a = x.abs();
+    let y = if a >= 5.0 {
+        1.0
+    } else if a >= 2.375 {
+        0.03125 * a + 0.84375
+    } else if a >= 1.0 {
+        0.125 * a + 0.625
+    } else {
+        0.25 * a + 0.5
+    };
+    if x >= 0.0 {
+        y
+    } else {
+        1.0 - y
+    }
+}
+
+/// Applies the approximated GELU elementwise.
+pub fn gelu_approx_tensor(x: &Tensor, delta1: f32) -> Tensor {
+    x.map(|v| gelu_approx(v, delta1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heatvit_tensor::scalar;
+
+    #[test]
+    fn erf_approx_tracks_exact_erf_at_delta_one() {
+        // I-BERT reports ~2e-2 max error for this polynomial.
+        for i in -40..=40 {
+            let x = i as f32 * 0.1;
+            let err = (erf_approx(x, 1.0) - scalar::erf(x)).abs();
+            assert!(err < 0.11, "x={x}: err={err}");
+        }
+    }
+
+    #[test]
+    fn gelu_approx_tracks_exact_gelu_at_delta_one() {
+        for i in -40..=40 {
+            let x = i as f32 * 0.1;
+            let err = (gelu_approx(x, 1.0) - scalar::gelu(x)).abs();
+            assert!(err < 0.06, "x={x}: err={err}");
+        }
+    }
+
+    #[test]
+    fn delta1_shrinks_the_output() {
+        for i in 1..=30 {
+            let x = i as f32 * 0.1;
+            assert!(gelu_approx(x, 0.5) <= gelu_approx(x, 1.0) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn exp_poly_matches_exp_on_segment() {
+        // Eq. 14's quoted accuracy on (−ln2, 0].
+        let mut p = -std::f32::consts::LN_2 + 1e-3;
+        while p <= 0.0 {
+            let err = (exp_poly(p) - p.exp()).abs();
+            assert!(err < 0.02, "p={p}: err={err}");
+            p += 0.01;
+        }
+    }
+
+    #[test]
+    fn exp_shift_matches_exp_for_negative_inputs() {
+        let mut x = -20.0f32;
+        while x <= 0.0 {
+            let approx = exp_shift(x);
+            let exact = x.exp();
+            let err = (approx - exact).abs();
+            // Relative-ish bound: the poly error is scaled down by the shift.
+            assert!(err < 0.02 * exact.max(1e-3), "x={x}: {approx} vs {exact}");
+            x += 0.173;
+        }
+    }
+
+    #[test]
+    fn softmax_approx_rows_sum_to_delta2() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]);
+        let s = softmax_approx_rows(&x, 0.5);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 0.5).abs() < 1e-3, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_approx_preserves_ranking() {
+        let x = Tensor::from_vec(vec![0.2, 2.0, -1.0, 0.9], &[1, 4]);
+        let exact = x.softmax_rows();
+        let approx = softmax_approx_rows(&x, 1.0);
+        let rank = |t: &Tensor| {
+            let mut idx: Vec<usize> = (0..4).collect();
+            idx.sort_by(|&a, &b| t.at(&[0, a]).total_cmp(&t.at(&[0, b])));
+            idx
+        };
+        assert_eq!(rank(&exact), rank(&approx));
+    }
+
+    #[test]
+    fn sigmoid_plan_tracks_sigmoid() {
+        // PLAN's published max error is ~0.0189.
+        for i in -80..=80 {
+            let x = i as f32 * 0.1;
+            let err = (sigmoid_plan(x) - scalar::sigmoid(x)).abs();
+            assert!(err < 0.02, "x={x}: err={err}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_plan_is_monotone_and_bounded() {
+        let mut last = -1.0f32;
+        for i in -100..=100 {
+            let y = sigmoid_plan(i as f32 * 0.07);
+            assert!(y >= last - 1e-6, "non-monotone at {i}");
+            assert!((0.0..=1.0).contains(&y));
+            last = y;
+        }
+    }
+
+    #[test]
+    fn gelu_approx_derivative_matches_numeric() {
+        for delta in [0.5f32, 1.0] {
+            for i in -35..=35 {
+                let x = i as f32 * 0.11;
+                let h = 1e-3;
+                let numeric =
+                    (gelu_approx(x + h, delta) - gelu_approx(x - h, delta)) / (2.0 * h);
+                let analytic = gelu_approx_derivative(x, delta);
+                assert!(
+                    (numeric - analytic).abs() < 5e-3,
+                    "x={x} δ={delta}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regularized_gelu_derivative_is_below_one() {
+        // The Fig. 10 / Eq. 15 claim: with δ₁ = 0.5 the approximated GELU's
+        // derivative magnitude stays below 1, so quantization error shrinks.
+        for i in -400..=400 {
+            let x = i as f32 * 0.01;
+            let d = gelu_approx_derivative(x, DEFAULT_DELTA1).abs();
+            assert!(d < 1.0, "x={x}: |dA/dx| = {d}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Integer GEMM: the arithmetic the FPGA's 8-bit GEMM engine performs.
+//!
+//! Products are `i8 × i8` accumulated in `i32` (DSP-friendly), then rescaled
+//! back to float by the product of the operand scales. The paper's claimed
+//! ~1.9× speedup from 8-bit quantization comes precisely from packing two
+//! such MACs per DSP slice; the cycle model in `heatvit-fpga` charges it
+//! that way.
+
+use crate::qtensor::QTensor;
+use heatvit_tensor::Tensor;
+
+/// Integer matrix product `a · b` with float rescaling.
+///
+/// `a` is `[M, K]`, `b` is `[K, N]`; the result is the dequantized `[M, N]`
+/// float matrix `(Σ qa·qb) · scale_a · scale_b`.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank 2 or inner dimensions differ.
+pub fn qmatmul(a: &QTensor, b: &QTensor) -> Tensor {
+    assert_eq!(a.dims().len(), 2, "qmatmul lhs must be rank 2");
+    assert_eq!(b.dims().len(), 2, "qmatmul rhs must be rank 2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "qmatmul inner dimensions must agree");
+    let mut acc = vec![0i32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut acc[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            let av = av as i32;
+            let brow = &bd[p * n..(p + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *c += av * bv as i32;
+            }
+        }
+    }
+    let rescale = a.params().scale * b.params().scale;
+    Tensor::from_vec(acc.into_iter().map(|v| v as f32 * rescale).collect(), &[m, n])
+}
+
+/// Quantized linear layer: int8 weight, float bias, dynamic or static
+/// activation quantization.
+#[derive(Debug, Clone)]
+pub struct QLinear {
+    weight: QTensor,
+    bias: Option<Vec<f32>>,
+    /// Pre-calibrated activation scale; `None` = dynamic (per-call max-abs).
+    activation: Option<crate::QuantParams>,
+}
+
+impl QLinear {
+    /// Quantizes a float linear layer's weight (max-abs, symmetric).
+    pub fn from_linear(layer: &heatvit_nn::layers::Linear) -> Self {
+        Self {
+            weight: QTensor::quantize(layer.weight().value()),
+            bias: layer.bias().map(|b| b.value().data().to_vec()),
+            activation: None,
+        }
+    }
+
+    /// Sets a static activation scale recorded during calibration.
+    pub fn set_activation_params(&mut self, params: crate::QuantParams) {
+        self.activation = Some(params);
+    }
+
+    /// The quantized weight.
+    pub fn weight(&self) -> &QTensor {
+        &self.weight
+    }
+
+    /// Runs `x·W + b` through the integer pipeline: quantize activations,
+    /// int8 GEMM, rescale, add float bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, in_features]`.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dim(1), self.weight.dim(0), "input width mismatch");
+        let qx = match self.activation {
+            Some(params) => QTensor::quantize_with(x, params),
+            None => QTensor::quantize(x),
+        };
+        let mut out = qmatmul(&qx, &self.weight);
+        if let Some(bias) = &self.bias {
+            let n = out.dim(1);
+            for row in out.data_mut().chunks_mut(n) {
+                for (o, &b) in row.iter_mut().zip(bias.iter()) {
+                    *o += b;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heatvit_nn::layers::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qmatmul_tracks_float_gemm() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::rand_normal(&[8, 16], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[16, 8], 0.0, 1.0, &mut rng);
+        let exact = a.matmul(&b);
+        let quant = qmatmul(&QTensor::quantize(&a), &QTensor::quantize(&b));
+        // Relative Frobenius error of an int8 GEMM on unit-scale data.
+        let rel = quant.sub(&exact).norm() / exact.norm();
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn qmatmul_is_exact_for_representable_values() {
+        // Integers within ±127 at scale 1 are exactly representable.
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let qa = QTensor::quantize_with(&a, crate::QuantParams { scale: 1.0 });
+        let qb = QTensor::quantize_with(&b, crate::QuantParams { scale: 1.0 });
+        assert!(qmatmul(&qa, &qb).allclose(&a.matmul(&b), 0.0));
+    }
+
+    #[test]
+    fn qlinear_matches_float_layer_closely() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(24, 12, true, &mut rng);
+        let qlayer = QLinear::from_linear(&layer);
+        let x = Tensor::rand_normal(&[5, 24], 0.0, 1.0, &mut rng);
+        let exact = layer.infer(&x);
+        let quant = qlayer.infer(&x);
+        let rel = quant.sub(&exact).norm() / exact.norm();
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn static_activation_scale_is_used() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(4, 4, false, &mut rng);
+        let mut qlayer = QLinear::from_linear(&layer);
+        // A deliberately coarse activation scale must visibly degrade.
+        qlayer.set_activation_params(crate::QuantParams::from_abs_max(100.0));
+        let x = Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng);
+        let coarse = qlayer.infer(&x);
+        let mut fine = QLinear::from_linear(&layer);
+        fine.set_activation_params(crate::QuantParams::from_abs_max(3.0));
+        let fine_out = fine.infer(&x);
+        let exact = layer.infer(&x);
+        assert!(
+            coarse.sub(&exact).norm() > fine_out.sub(&exact).norm(),
+            "coarse calibration should hurt more"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn qmatmul_checks_shapes() {
+        let a = QTensor::quantize(&Tensor::zeros(&[2, 3]));
+        let b = QTensor::quantize(&Tensor::zeros(&[4, 2]));
+        qmatmul(&a, &b);
+    }
+}

@@ -1,0 +1,184 @@
+//! Quantized tensors and quantization parameters.
+
+use heatvit_tensor::Tensor;
+
+/// Quantization parameters mapping `f32 ↔ int8`.
+///
+/// HeatViT uses symmetric 8-bit fixed-point quantization for weights and
+/// activations (paper Section V), so the zero point is 0 and the mapping is
+/// `q = clamp(round(x / scale), -127, 127)`.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_quant::QuantParams;
+///
+/// let qp = QuantParams::from_abs_max(2.54);
+/// assert!((qp.scale - 0.02).abs() < 1e-6);
+/// assert_eq!(qp.quantize(1.0), 50);
+/// assert!((qp.dequantize(50) - 1.0).abs() < qp.scale);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value represented by one integer step.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// The symmetric int8 quantization range limit.
+    pub const QMAX: i32 = 127;
+
+    /// Parameters covering the range `[-abs_max, abs_max]`.
+    ///
+    /// A degenerate `abs_max` of zero maps to a tiny positive scale so the
+    /// quantizer stays well-defined for all-zero tensors.
+    pub fn from_abs_max(abs_max: f32) -> Self {
+        let abs_max = abs_max.abs().max(1e-8);
+        Self {
+            scale: abs_max / Self::QMAX as f32,
+        }
+    }
+
+    /// Parameters calibrated from a tensor's max-abs value.
+    pub fn observe(t: &Tensor) -> Self {
+        let abs_max = t
+            .data()
+            .iter()
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        Self::from_abs_max(abs_max)
+    }
+
+    /// Quantizes one value.
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round();
+        q.clamp(-(Self::QMAX as f32), Self::QMAX as f32) as i8
+    }
+
+    /// Dequantizes one value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+/// An int8 tensor with its quantization parameters.
+#[derive(Debug, Clone)]
+pub struct QTensor {
+    data: Vec<i8>,
+    dims: Vec<usize>,
+    params: QuantParams,
+}
+
+impl QTensor {
+    /// Quantizes a float tensor with max-abs calibration.
+    pub fn quantize(t: &Tensor) -> Self {
+        Self::quantize_with(t, QuantParams::observe(t))
+    }
+
+    /// Quantizes a float tensor with the given parameters.
+    pub fn quantize_with(t: &Tensor, params: QuantParams) -> Self {
+        Self {
+            data: t.data().iter().map(|&v| params.quantize(v)).collect(),
+            dims: t.dims().to_vec(),
+            params,
+        }
+    }
+
+    /// The integer data (row-major).
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// The shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Reconstructs the float tensor (with quantization error).
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.data.iter().map(|&q| self.params.dequantize(q)).collect(),
+            &self.dims,
+        )
+    }
+
+    /// Worst-case elementwise reconstruction error of this tensor.
+    pub fn max_quant_error(&self, original: &Tensor) -> f32 {
+        self.dequantize().max_abs_diff(original)
+    }
+}
+
+/// Round-trips a tensor through int8 ("fake quantization") — the standard
+/// way to measure accuracy impact without integer kernels.
+pub fn fake_quantize(t: &Tensor) -> Tensor {
+    QTensor::quantize(t).dequantize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Tensor::rand_normal(&[32, 32], 0.0, 1.0, &mut rng);
+        let q = QTensor::quantize(&t);
+        // Everything inside the calibrated range errs by ≤ scale/2.
+        assert!(q.max_quant_error(&t) <= q.params().scale * 0.5 + 1e-7);
+    }
+
+    #[test]
+    fn quantize_saturates_outliers() {
+        let qp = QuantParams::from_abs_max(1.0);
+        assert_eq!(qp.quantize(5.0), 127);
+        assert_eq!(qp.quantize(-5.0), -127);
+    }
+
+    #[test]
+    fn zero_tensor_is_stable() {
+        let t = Tensor::zeros(&[4, 4]);
+        let q = QTensor::quantize(&t);
+        assert!(q.dequantize().allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn symmetric_range_is_symmetric() {
+        let qp = QuantParams::from_abs_max(2.0);
+        assert_eq!(qp.quantize(2.0), -qp.quantize(-2.0));
+    }
+
+    #[test]
+    fn fake_quantize_preserves_shape_and_signal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_normal(&[8, 8], 0.0, 2.0, &mut rng);
+        let f = fake_quantize(&t);
+        assert_eq!(f.dims(), t.dims());
+        // SQNR should be high: int8 on a well-scaled signal ≈ 30+ dB.
+        let noise = f.sub(&t).norm();
+        let signal = t.norm();
+        assert!(signal / noise.max(1e-9) > 30.0, "sqnr too low");
+    }
+
+    #[test]
+    fn observe_matches_from_abs_max() {
+        let t = Tensor::from_vec(vec![-3.0, 1.0, 2.0], &[3]);
+        let a = QuantParams::observe(&t);
+        let b = QuantParams::from_abs_max(3.0);
+        assert_eq!(a, b);
+    }
+}

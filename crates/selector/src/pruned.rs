@@ -1,0 +1,403 @@
+//! A ViT backbone with token selectors interleaved between blocks.
+//!
+//! This is the model HeatViT deploys (paper Fig. 1): selectors progressively
+//! shrink the token matrix, pruned tokens are consolidated into a package
+//! token, and the surviving tokens are repacked *densely* so every downstream
+//! GEMM runs on a smaller dense matrix — exactly the accelerator's token
+//! selection flow (Fig. 9).
+
+use crate::packager::{package_tokens, package_tokens_tape};
+use crate::selector::{InferDecision, TokenSelector, TrainDecision};
+use heatvit_nn::{Module, Param, Tape, Var};
+use heatvit_tensor::Tensor;
+use heatvit_vit::VisionTransformer;
+use rand::Rng;
+
+/// Inference result of a pruned ViT.
+#[derive(Debug, Clone)]
+pub struct PrunedInference {
+    /// Classification logits `[1, classes]`.
+    pub logits: Tensor,
+    /// Token count entering each block (including class/package tokens).
+    pub tokens_per_block: Vec<usize>,
+    /// Keep fraction decided by each selector, in placement order.
+    pub selector_keep_fractions: Vec<f32>,
+    /// For each selector, the original patch-grid indices that survived it
+    /// (package/class tokens excluded). Used by the Fig. 4 visualization.
+    pub surviving_patches: Vec<Vec<usize>>,
+}
+
+/// Differentiable forward result of a pruned ViT.
+#[derive(Debug)]
+pub struct PrunedTrainOutput {
+    /// Classification logits `[1, classes]` on the tape.
+    pub logits: Var,
+    /// Mean Gumbel-soft keep probability per selector (`[1]` nodes) — the
+    /// `D̂` term of the latency-sparsity loss (paper Eq. 20).
+    pub selector_keep_means: Vec<Var>,
+    /// Hard keep fraction per selector for monitoring.
+    pub selector_keep_fractions: Vec<f32>,
+    /// Token count entering each block.
+    pub tokens_per_block: Vec<usize>,
+}
+
+/// A backbone ViT plus per-block optional token selectors.
+#[derive(Debug, Clone)]
+pub struct PrunedViT {
+    backbone: VisionTransformer,
+    selectors: Vec<Option<TokenSelector>>,
+    package_enabled: bool,
+}
+
+impl PrunedViT {
+    /// Wraps a backbone with no selectors installed.
+    pub fn new(backbone: VisionTransformer) -> Self {
+        let depth = backbone.config().depth;
+        Self {
+            backbone,
+            selectors: (0..depth).map(|_| None).collect(),
+            package_enabled: true,
+        }
+    }
+
+    /// The wrapped backbone.
+    pub fn backbone(&self) -> &VisionTransformer {
+        &self.backbone
+    }
+
+    /// Mutable access to the backbone (fine-tuning).
+    pub fn backbone_mut(&mut self) -> &mut VisionTransformer {
+        &mut self.backbone
+    }
+
+    /// Enables or disables the token packager (the Fig. 12 "discard"
+    /// ablation sets this to `false`).
+    pub fn set_package_enabled(&mut self, enabled: bool) {
+        self.package_enabled = enabled;
+    }
+
+    /// Whether pruned tokens are packaged rather than discarded.
+    pub fn package_enabled(&self) -> bool {
+        self.package_enabled
+    }
+
+    /// Installs `selector` in front of block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn insert_selector(&mut self, block: usize, selector: TokenSelector) {
+        assert!(block < self.selectors.len(), "block index out of range");
+        self.selectors[block] = Some(selector);
+    }
+
+    /// Removes the selector in front of block `block`, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn remove_selector(&mut self, block: usize) -> Option<TokenSelector> {
+        assert!(block < self.selectors.len(), "block index out of range");
+        self.selectors[block].take()
+    }
+
+    /// The selector slots, one per block.
+    pub fn selectors(&self) -> &[Option<TokenSelector>] {
+        &self.selectors
+    }
+
+    /// Blocks that currently have a selector installed.
+    pub fn selector_blocks(&self) -> Vec<usize> {
+        self.selectors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Inference with dense token repacking.
+    pub fn infer(&self, image: &Tensor) -> PrunedInference {
+        let mut tokens = self.backbone.patch_embed().infer(image);
+        // Original patch index of each current row (None = class or package).
+        let mut origin: Vec<Option<usize>> = std::iter::once(None)
+            .chain((0..tokens.dim(0) - 1).map(Some))
+            .collect();
+        let mut tokens_per_block = Vec::with_capacity(self.backbone.config().depth);
+        let mut fractions = Vec::new();
+        let mut surviving = Vec::new();
+        for (block, selector) in self.backbone.blocks().iter().zip(self.selectors.iter()) {
+            if let Some(sel) = selector {
+                let n = tokens.dim(0);
+                let patches = tokens.slice_rows(1, n);
+                let decision: InferDecision = sel.infer(&patches);
+                let kept = decision.kept_indices();
+                let pruned = decision.pruned_indices();
+                fractions.push(decision.keep_fraction());
+                surviving.push(
+                    kept.iter()
+                        .filter_map(|&i| origin[i + 1])
+                        .collect::<Vec<usize>>(),
+                );
+                let cls = tokens.slice_rows(0, 1);
+                let kept_rows = patches.gather_rows(&kept);
+                let mut parts: Vec<Tensor> = vec![cls, kept_rows];
+                let mut new_origin: Vec<Option<usize>> = std::iter::once(None)
+                    .chain(kept.iter().map(|&i| origin[i + 1]))
+                    .collect();
+                if self.package_enabled {
+                    let pruned_rows = patches.gather_rows(&pruned);
+                    let pruned_scores: Vec<f32> =
+                        pruned.iter().map(|&i| decision.keep_scores[i]).collect();
+                    if let Some(p) = package_tokens(&pruned_rows, &pruned_scores) {
+                        parts.push(p);
+                        new_origin.push(None);
+                    }
+                }
+                let refs: Vec<&Tensor> = parts.iter().collect();
+                tokens = Tensor::concat_rows(&refs);
+                origin = new_origin;
+            }
+            tokens_per_block.push(tokens.dim(0));
+            let (out, _) = block.infer(&tokens, None);
+            tokens = out;
+        }
+        PrunedInference {
+            logits: self.backbone.classify_tokens_infer(&tokens),
+            tokens_per_block,
+            selector_keep_fractions: fractions,
+            surviving_patches: surviving,
+        }
+    }
+
+    /// Differentiable forward with Gumbel-sampled hard pruning.
+    ///
+    /// Kept tokens are multiplied by their straight-through mask value
+    /// (forward ×1, backward routes task gradients into the keep scores);
+    /// pruned tokens reach later blocks only through the package token.
+    pub fn forward_train(
+        &self,
+        tape: &mut Tape,
+        image: &Tensor,
+        rng: &mut impl Rng,
+    ) -> PrunedTrainOutput {
+        let mut tokens = self.backbone.patch_embed().forward(tape, image);
+        let mut keep_means = Vec::new();
+        let mut fractions = Vec::new();
+        let mut tokens_per_block = Vec::with_capacity(self.backbone.config().depth);
+        for (block, selector) in self.backbone.blocks().iter().zip(self.selectors.iter()) {
+            if let Some(sel) = selector {
+                let n = tape.dims(tokens)[0];
+                let patches = tape.slice_rows(tokens, 1, n);
+                let decision: TrainDecision = sel.forward_train(tape, patches, rng);
+                let kept: Vec<usize> = decision
+                    .keep_hard
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &k)| k.then_some(i))
+                    .collect();
+                let pruned: Vec<usize> = decision
+                    .keep_hard
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &k)| (!k).then_some(i))
+                    .collect();
+                fractions.push(kept.len() as f32 / decision.keep_hard.len() as f32);
+                keep_means.push(tape.mean_all(decision.keep_soft));
+
+                let cls = tape.slice_rows(tokens, 0, 1);
+                let kept_tokens = tape.gather_rows(patches, &kept);
+                // Straight-through weighting of the kept rows.
+                let mask_mat = tape.reshape(decision.mask_st, &[n - 1, 1]);
+                let kept_mask = tape.gather_rows(mask_mat, &kept);
+                let kept_mask = tape.reshape(kept_mask, &[kept.len()]);
+                let kept_tokens = tape.mul_col_broadcast(kept_tokens, kept_mask);
+                let mut parts = vec![cls, kept_tokens];
+                if self.package_enabled {
+                    if let Some(p) =
+                        package_tokens_tape(tape, patches, decision.keep_scores, &pruned)
+                    {
+                        parts.push(p);
+                    }
+                }
+                tokens = tape.concat_rows(&parts);
+            }
+            tokens_per_block.push(tape.dims(tokens)[0]);
+            let (out, _) = block.forward(tape, tokens, None, false);
+            tokens = out;
+        }
+        PrunedTrainOutput {
+            logits: self.backbone.classify_tokens(tape, tokens),
+            selector_keep_means: keep_means,
+            selector_keep_fractions: fractions,
+            tokens_per_block,
+        }
+    }
+
+    /// Predicted class for one image.
+    pub fn predict(&self, image: &Tensor) -> usize {
+        self.infer(image).logits.argmax_rows()[0]
+    }
+
+    /// Multiply–accumulate count of one inference, including selector
+    /// overhead, using the actual per-block token counts from `inference`.
+    pub fn macs(&self, inference: &PrunedInference) -> u64 {
+        let mut total = self.backbone.patch_embed().macs();
+        for (i, block) in self.backbone.blocks().iter().enumerate() {
+            let n = inference.tokens_per_block[i];
+            total += block.macs(n);
+            if let Some(sel) = &self.selectors[i] {
+                total += sel.macs(n.saturating_sub(1));
+            }
+        }
+        total + self.backbone.config().embed_dim as u64 * self.backbone.config().num_classes as u64
+    }
+}
+
+impl Module for PrunedViT {
+    fn params(&self) -> Vec<&Param> {
+        let mut v = self.backbone.params();
+        for s in self.selectors.iter().flatten() {
+            v.extend(s.params());
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.backbone.params_mut();
+        for s in self.selectors.iter_mut().flatten() {
+            v.extend(s.params_mut());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heatvit_vit::ViTConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pruned_model(seed: u64) -> (PrunedViT, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let backbone = VisionTransformer::new(ViTConfig::micro(4), &mut rng);
+        let mut model = PrunedViT::new(backbone);
+        let dim = model.backbone().config().embed_dim;
+        let heads = model.backbone().config().num_heads;
+        model.insert_selector(2, TokenSelector::new(dim, heads, &mut rng));
+        model.insert_selector(4, TokenSelector::new(dim, heads, &mut rng));
+        (model, rng)
+    }
+
+    #[test]
+    fn no_selectors_matches_backbone() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let backbone = VisionTransformer::new(ViTConfig::test_tiny(4), &mut rng);
+        let model = PrunedViT::new(backbone);
+        let image = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+        let out = model.infer(&image);
+        assert!(out.logits.allclose(&model.backbone().infer(&image), 1e-5));
+        assert!(out.selector_keep_fractions.is_empty());
+    }
+
+    #[test]
+    fn token_counts_shrink_after_selectors() {
+        let (model, mut rng) = pruned_model(1);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let out = model.infer(&image);
+        assert_eq!(out.tokens_per_block.len(), 6);
+        // Before the first selector the full 17 tokens flow.
+        assert_eq!(out.tokens_per_block[0], 17);
+        // After a selector the count can only shrink or stay (plus package).
+        assert!(out.tokens_per_block[2] <= 18);
+        assert!(out.tokens_per_block[4] <= out.tokens_per_block[2] + 1);
+        assert_eq!(out.selector_keep_fractions.len(), 2);
+    }
+
+    #[test]
+    fn surviving_patches_reference_original_grid() {
+        let (model, mut rng) = pruned_model(2);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let out = model.infer(&image);
+        for survivors in &out.surviving_patches {
+            for &p in survivors {
+                assert!(p < 16, "patch index {p} outside the 4x4 grid");
+            }
+        }
+        // The second selector's survivors must be a subset of the first's.
+        let first: std::collections::HashSet<_> =
+            out.surviving_patches[0].iter().copied().collect();
+        for p in &out.surviving_patches[1] {
+            assert!(first.contains(p), "token {p} resurrected after pruning");
+        }
+    }
+
+    #[test]
+    fn forward_train_produces_ratio_terms() {
+        let (model, mut rng) = pruned_model(3);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let out = model.forward_train(&mut tape, &image, &mut rng);
+        assert_eq!(out.selector_keep_means.len(), 2);
+        for &m in &out.selector_keep_means {
+            let v = tape.value(m).data()[0];
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(tape.dims(out.logits), &[1, 4]);
+    }
+
+    #[test]
+    fn gradients_reach_selector_parameters() {
+        let (mut model, mut rng) = pruned_model(4);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let out = model.forward_train(&mut tape, &image, &mut rng);
+        let ce = tape.cross_entropy(out.logits, &[1]);
+        // Add the ratio term so keep_soft also receives gradient.
+        let mut loss = ce;
+        for &m in &out.selector_keep_means {
+            let target = tape.scalar(0.7);
+            let diff = tape.sub(m, target);
+            let sq = tape.mul(diff, diff);
+            loss = tape.add(loss, sq);
+        }
+        let grads = tape.backward(loss);
+        tape.write_grads(&grads, model.params_mut());
+        let blocks = model.selector_blocks();
+        for b in blocks {
+            let sel = model.selectors()[b].as_ref().unwrap();
+            let with_grad = sel.params().iter().filter(|p| p.grad().is_some()).count();
+            assert!(
+                with_grad * 2 >= sel.params().len(),
+                "selector at block {b}: only {with_grad}/{} params got grads",
+                sel.params().len()
+            );
+        }
+    }
+
+    #[test]
+    fn discard_mode_omits_package_token() {
+        let (mut model, mut rng) = pruned_model(5);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let with_package = model.infer(&image);
+        model.set_package_enabled(false);
+        let without = model.infer(&image);
+        // If anything was pruned, discard mode has one token fewer.
+        let s1 = with_package.selector_keep_fractions[0];
+        if s1 < 1.0 {
+            assert!(without.tokens_per_block[2] < with_package.tokens_per_block[2]);
+        }
+    }
+
+    #[test]
+    fn macs_reflect_token_reduction() {
+        let (model, mut rng) = pruned_model(6);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let out = model.infer(&image);
+        let pruned_macs = model.macs(&out);
+        let dense_macs = model.backbone().macs();
+        if out.selector_keep_fractions.iter().any(|&f| f < 0.9) {
+            assert!(pruned_macs < dense_macs);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Static token-pruning baselines (paper Section II-D).
+//!
+//! Static pruning removes a *fixed* fraction of tokens for every image,
+//! ignoring per-image information content. Three rules are provided:
+//!
+//! * [`StaticRule::CliffAttention`] — keep the top-k tokens by class-token
+//!   attention (the EViT/ATS family of criteria);
+//! * [`StaticRule::TokenNorm`] — keep the top-k tokens by embedding norm;
+//! * [`StaticRule::Random`] — random keep (lower bound).
+//!
+//! These baselines share the backbone and the dense-repacking flow with the
+//! adaptive model, so Fig. 2/Fig. 4 comparisons isolate exactly the decision
+//! policy.
+
+use heatvit_tensor::Tensor;
+use heatvit_vit::VisionTransformer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The static keep criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticRule {
+    /// Rank tokens by mean class-token attention from the previous block.
+    CliffAttention,
+    /// Rank tokens by their embedding L2 norm.
+    TokenNorm,
+    /// Keep a uniformly random subset (seeded).
+    Random,
+}
+
+/// One static pruning stage: in front of `block`, keep `ceil(ratio · N)`
+/// tokens of the `N` current patch tokens.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticStage {
+    /// Block index the stage precedes.
+    pub block: usize,
+    /// Fraction of current patch tokens to keep, in `(0, 1]`.
+    pub keep_ratio: f32,
+}
+
+/// A backbone with static (input-agnostic) token pruning.
+#[derive(Debug)]
+pub struct StaticPrunedViT {
+    backbone: VisionTransformer,
+    stages: Vec<StaticStage>,
+    rule: StaticRule,
+    seed: u64,
+}
+
+/// Inference result of a statically pruned ViT.
+#[derive(Debug, Clone)]
+pub struct StaticInference {
+    /// Classification logits `[1, classes]`.
+    pub logits: Tensor,
+    /// Token count entering each block.
+    pub tokens_per_block: Vec<usize>,
+}
+
+impl StaticPrunedViT {
+    /// Wraps a backbone with the given stages and rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage is out of range, out of order, or has an invalid
+    /// ratio.
+    pub fn new(
+        backbone: VisionTransformer,
+        stages: Vec<StaticStage>,
+        rule: StaticRule,
+        seed: u64,
+    ) -> Self {
+        let depth = backbone.config().depth;
+        let mut last = 0;
+        for s in &stages {
+            assert!(s.block < depth, "stage block out of range");
+            assert!(s.block >= last, "stages must be in block order");
+            assert!(
+                s.keep_ratio > 0.0 && s.keep_ratio <= 1.0,
+                "keep ratio must be in (0, 1]"
+            );
+            last = s.block;
+        }
+        Self {
+            backbone,
+            stages,
+            rule,
+            seed,
+        }
+    }
+
+    /// The wrapped backbone.
+    pub fn backbone(&self) -> &VisionTransformer {
+        &self.backbone
+    }
+
+    /// Ranks current patch tokens; higher score = more informative.
+    fn scores(&self, tokens: &Tensor, cls_attention: Option<&[f32]>, rng: &mut StdRng) -> Vec<f32> {
+        let n = tokens.dim(0);
+        match self.rule {
+            StaticRule::CliffAttention => match cls_attention {
+                Some(a) => a.to_vec(),
+                // First block has no incoming attention; fall back to norms.
+                None => (0..n).map(|r| row_norm(tokens, r)).collect(),
+            },
+            StaticRule::TokenNorm => (0..n).map(|r| row_norm(tokens, r)).collect(),
+            StaticRule::Random => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(rng);
+                let mut s = vec![0.0f32; n];
+                for (rank, &i) in order.iter().enumerate() {
+                    s[i] = rank as f32;
+                }
+                s
+            }
+        }
+    }
+
+    /// Inference with static pruning and dense repacking.
+    pub fn infer(&self, image: &Tensor) -> StaticInference {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tokens = self.backbone.patch_embed().infer(image);
+        let mut tokens_per_block = Vec::with_capacity(self.backbone.config().depth);
+        // Mean CLS attention over heads from the previous block, per current
+        // patch token.
+        let mut cls_attention: Option<Vec<f32>> = None;
+        let mut stage_iter = self.stages.iter().peekable();
+        for (bi, block) in self.backbone.blocks().iter().enumerate() {
+            if let Some(stage) = stage_iter.peek() {
+                if stage.block == bi {
+                    let n_patches = tokens.dim(0) - 1;
+                    let k = ((stage.keep_ratio * n_patches as f32).ceil() as usize)
+                        .clamp(1, n_patches);
+                    let patches = tokens.slice_rows(1, tokens.dim(0));
+                    let scores =
+                        self.scores(&patches, cls_attention.as_deref(), &mut rng);
+                    let mut order: Vec<usize> = (0..n_patches).collect();
+                    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+                    let mut kept: Vec<usize> = order[..k].to_vec();
+                    kept.sort_unstable();
+                    let cls = tokens.slice_rows(0, 1);
+                    let kept_rows = patches.gather_rows(&kept);
+                    tokens = Tensor::concat_rows(&[&cls, &kept_rows]);
+                    stage_iter.next();
+                }
+            }
+            tokens_per_block.push(tokens.dim(0));
+            let (out, maps) = block.infer(&tokens, None);
+            // CLS attention to each patch token, averaged over heads.
+            let n = tokens.dim(0);
+            let mut attn = vec![0.0f32; n - 1];
+            for map in &maps {
+                for (j, a) in attn.iter_mut().enumerate() {
+                    *a += map.at(&[0, j + 1]);
+                }
+            }
+            for a in &mut attn {
+                *a /= maps.len() as f32;
+            }
+            cls_attention = Some(attn);
+            tokens = out;
+        }
+        StaticInference {
+            logits: self.backbone.classify_tokens_infer(&tokens),
+            tokens_per_block,
+        }
+    }
+
+    /// Predicted class for one image.
+    pub fn predict(&self, image: &Tensor) -> usize {
+        self.infer(image).logits.argmax_rows()[0]
+    }
+}
+
+fn row_norm(t: &Tensor, r: usize) -> f32 {
+    t.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heatvit_vit::ViTConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn backbone(seed: u64) -> (VisionTransformer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = VisionTransformer::new(ViTConfig::micro(4), &mut rng);
+        (b, rng)
+    }
+
+    #[test]
+    fn keeps_exactly_the_requested_count() {
+        let (b, mut rng) = backbone(0);
+        let model = StaticPrunedViT::new(
+            b,
+            vec![StaticStage {
+                block: 2,
+                keep_ratio: 0.5,
+            }],
+            StaticRule::TokenNorm,
+            0,
+        );
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let out = model.infer(&image);
+        assert_eq!(out.tokens_per_block[0], 17);
+        assert_eq!(out.tokens_per_block[2], 9); // ceil(0.5·16) + cls
+    }
+
+    #[test]
+    fn same_count_for_every_image() {
+        // The defining property of static pruning (paper Fig. 4 left).
+        let (b, mut rng) = backbone(1);
+        let model = StaticPrunedViT::new(
+            b,
+            vec![StaticStage {
+                block: 1,
+                keep_ratio: 0.6,
+            }],
+            StaticRule::CliffAttention,
+            0,
+        );
+        let mut counts = Vec::new();
+        for _ in 0..4 {
+            let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+            counts.push(model.infer(&image).tokens_per_block[1]);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn attention_rule_uses_previous_block_maps() {
+        let (b, mut rng) = backbone(2);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        // Stage after block 0 → attention data available.
+        let model = StaticPrunedViT::new(
+            b,
+            vec![StaticStage {
+                block: 1,
+                keep_ratio: 0.4,
+            }],
+            StaticRule::CliffAttention,
+            0,
+        );
+        let out = model.infer(&image);
+        assert_eq!(out.tokens_per_block[1], 8); // ceil(0.4·16)=7 +1 cls
+    }
+
+    #[test]
+    fn random_rule_is_seed_deterministic() {
+        let (b1, mut rng) = backbone(3);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let (b2, _) = backbone(3);
+        let stage = vec![StaticStage {
+            block: 2,
+            keep_ratio: 0.5,
+        }];
+        let m1 = StaticPrunedViT::new(b1, stage.clone(), StaticRule::Random, 7);
+        let m2 = StaticPrunedViT::new(b2, stage, StaticRule::Random, 7);
+        assert!(m1.infer(&image).logits.allclose(&m2.infer(&image).logits, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "block order")]
+    fn stages_must_be_ordered() {
+        let (b, _) = backbone(4);
+        StaticPrunedViT::new(
+            b,
+            vec![
+                StaticStage {
+                    block: 4,
+                    keep_ratio: 0.5,
+                },
+                StaticStage {
+                    block: 2,
+                    keep_ratio: 0.5,
+                },
+            ],
+            StaticRule::TokenNorm,
+            0,
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Matrix multiplication kernels.
+//!
+//! These are the software analogue of the GEMM engine in the HeatViT FPGA
+//! accelerator: every dense layer in the backbone ViT *and* in the token
+//! selector lowers to one of the routines here, mirroring the paper's design
+//! decision to express the selector with linear layers so it can reuse the
+//! GEMM hardware.
+//!
+//! The 2-D kernel uses an `i-k-j` loop order over the row-major operands so
+//! the innermost loop streams both `B` and `C` contiguously, which
+//! auto-vectorizes well. A `matmul_transb` variant computes `A · Bᵀ` without
+//! materializing the transpose — the hot path for attention scores `Q·Kᵀ`.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product `self · rhs` for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions do not
+    /// match.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heatvit_tensor::Tensor;
+    ///
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+    /// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(
+            k, k2,
+            "matmul inner dimensions must agree ({} vs {})",
+            k, k2
+        );
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `self · rhsᵀ` for rank-2 tensors.
+    ///
+    /// Equivalent to `self.matmul(&rhs.transpose2())` but avoids the copy;
+    /// used for attention scores `Q · Kᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the last dimensions differ.
+    pub fn matmul_transb(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_transb lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul_transb rhs must be rank 2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (n, k2) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(
+            k, k2,
+            "matmul_transb inner dimensions must agree ({} vs {})",
+            k, k2
+        );
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = rhs.data();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Fused `self · rhs + bias` where `bias` is broadcast over rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch, or if `bias` is not a rank-1 tensor of
+    /// length `rhs.dim(1)`.
+    pub fn matmul_bias(&self, rhs: &Tensor, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.rank(), 1, "bias must be rank 1");
+        assert_eq!(
+            bias.dim(0),
+            rhs.dim(1),
+            "bias length must equal output columns"
+        );
+        let mut out = self.matmul(rhs);
+        let n = out.dim(1);
+        let b = bias.data();
+        for row in out.data_mut().chunks_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(b.iter()) {
+                *o += bv;
+            }
+        }
+        out
+    }
+
+    /// Batched matrix product for rank-3 tensors: `[B, M, K] · [B, K, N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not rank 3, batch sizes differ, or inner
+    /// dimensions do not match.
+    pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3");
+        assert_eq!(rhs.rank(), 3, "bmm rhs must be rank 3");
+        let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let (b2, k2, n) = (rhs.dim(0), rhs.dim(1), rhs.dim(2));
+        assert_eq!(b, b2, "bmm batch sizes must agree");
+        assert_eq!(k, k2, "bmm inner dimensions must agree");
+        let mut out = vec![0.0f32; b * m * n];
+        for bi in 0..b {
+            gemm(
+                &self.data()[bi * m * k..(bi + 1) * m * k],
+                &rhs.data()[bi * k * n..(bi + 1) * k * n],
+                &mut out[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose2 requires a rank-2 tensor");
+        let (m, n) = (self.dim(0), self.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+}
+
+/// Raw GEMM: `c += a · b` with `a: m×k`, `b: k×n`, `c: m×n`, all row-major.
+///
+/// `c` must be zero-initialized by the caller if a pure product is wanted.
+/// Exposed so the quantizer's integer GEMM tests can reuse the reference
+/// float path.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        Tensor::from_fn(&[m, n], |ix| {
+            (0..k).map(|p| a.at(&[ix[0], p]) * b.at(&[p, ix[1]])).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Tensor::from_fn(&[4, 7], |ix| (ix[0] * 7 + ix[1]) as f32 * 0.1);
+        let b = Tensor::from_fn(&[7, 3], |ix| (ix[0] as f32 - ix[1] as f32) * 0.2);
+        assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_fn(&[3, 3], |ix| (ix[0] + 2 * ix[1]) as f32);
+        assert!(a.matmul(&Tensor::eye(3)).allclose(&a, 0.0));
+        assert!(Tensor::eye(3).matmul(&a).allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_transb_equals_explicit_transpose() {
+        let a = Tensor::from_fn(&[5, 4], |ix| (ix[0] * ix[1]) as f32 * 0.3 - 1.0);
+        let b = Tensor::from_fn(&[6, 4], |ix| ix[1] as f32 - 0.5 * ix[0] as f32);
+        let fast = a.matmul_transb(&b);
+        let slow = a.matmul(&b.transpose2());
+        assert!(fast.allclose(&slow, 1e-5));
+    }
+
+    #[test]
+    fn matmul_bias_broadcasts_rows() {
+        let a = Tensor::ones(&[2, 3]);
+        let w = Tensor::eye(3);
+        let bias = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let out = a.matmul_bias(&w, &bias);
+        assert_eq!(out.row(0), &[2.0, 3.0, 4.0]);
+        assert_eq!(out.row(1), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn bmm_is_per_batch_matmul() {
+        let a = Tensor::from_fn(&[2, 3, 4], |ix| (ix[0] * 12 + ix[1] * 4 + ix[2]) as f32);
+        let b = Tensor::from_fn(&[2, 4, 2], |ix| (ix[0] + ix[1] + ix[2]) as f32 * 0.5);
+        let out = a.bmm(&b);
+        for bi in 0..2 {
+            let a2 = Tensor::from_fn(&[3, 4], |ix| a.at(&[bi, ix[0], ix[1]]));
+            let b2 = Tensor::from_fn(&[4, 2], |ix| b.at(&[bi, ix[0], ix[1]]));
+            let expect = a2.matmul(&b2);
+            for i in 0..3 {
+                for j in 0..2 {
+                    assert!((out.at(&[bi, i, j]) - expect.at(&[i, j])).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Tensor::from_fn(&[3, 5], |ix| (ix[0] * 5 + ix[1]) as f32);
+        assert!(a.transpose2().transpose2().allclose(&a, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_inner_dims_panic() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn zero_rows_ok() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[0, 2]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Scalar nonlinear functions and their derivatives.
+//!
+//! These are the *reference* ("original") implementations of the nonlinear
+//! functions that appear in ViTs — GELU, Sigmoid, Hardswish, erf — against
+//! which `heatvit-quant` validates its hardware-friendly polynomial
+//! approximations (paper Section V-D). `f32::erf` is not in the standard
+//! library, so a high-accuracy rational approximation is provided here.
+
+/// Error function `erf(x)`.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation (max absolute
+/// error ≈ 1.5·10⁻⁷), which is far below `f32` noise for our purposes.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_tensor::scalar::erf;
+/// assert!((erf(0.0)).abs() < 1e-7);
+/// assert!((erf(10.0) - 1.0).abs() < 1e-6);
+/// assert!((erf(-1.0) + erf(1.0)).abs() < 1e-6); // odd function
+/// ```
+pub fn erf(x: f32) -> f32 {
+    const A1: f32 = 0.254829592;
+    const A2: f32 = -0.284496736;
+    const A3: f32 = 1.421413741;
+    const A4: f32 = -1.453152027;
+    const A5: f32 = 1.061405429;
+    const P: f32 = 0.3275911;
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Exact GELU: `x/2 · (1 + erf(x/√2))`.
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + erf(x / std::f32::consts::SQRT_2))
+}
+
+/// Derivative of the exact GELU.
+///
+/// `GELU'(x) = Φ(x) + x·φ(x)` with `Φ` the standard-normal CDF and `φ` its
+/// density. Referenced by the paper's quantization-error argument (Fig. 10):
+/// for the *approximated* GELU this derivative is kept below one.
+pub fn gelu_derivative(x: f32) -> f32 {
+    let phi_cdf = 0.5 * (1.0 + erf(x / std::f32::consts::SQRT_2));
+    let phi_pdf = (-0.5 * x * x).exp() / (2.0 * std::f32::consts::PI).sqrt();
+    phi_cdf + x * phi_pdf
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid: `σ(x)·(1 − σ(x))`.
+pub fn sigmoid_derivative(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 - s)
+}
+
+/// ReLU.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU (`0` at the kink).
+pub fn relu_derivative(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Hardswish (MobileNetV3): `x · relu6(x+3) / 6`.
+pub fn hardswish(x: f32) -> f32 {
+    x * (x + 3.0).clamp(0.0, 6.0) / 6.0
+}
+
+/// Derivative of Hardswish.
+pub fn hardswish_derivative(x: f32) -> f32 {
+    if x <= -3.0 {
+        0.0
+    } else if x >= 3.0 {
+        1.0
+    } else {
+        (2.0 * x + 3.0) / 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numerical_derivative(f: impl Fn(f32) -> f32, x: f32) -> f32 {
+        let h = 1e-3;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // erf(1) = 0.8427007929..., erf(2) = 0.9953222650...
+        assert!((erf(1.0) - 0.842_700_8).abs() < 1e-5);
+        assert!((erf(2.0) - 0.995_322_3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in -40..=40 {
+            let x = i as f32 * 0.1;
+            assert!((erf(x) + erf(-x)).abs() < 1e-6);
+            assert!(erf(x).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gelu_limits() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-4); // identity for large x
+        assert!(gelu(-10.0).abs() < 1e-4); // zero for very negative x
+        // GELU(x) + GELU(-x) == x (since Φ(x)+Φ(−x)=1)
+        for i in -20..=20 {
+            let x = i as f32 * 0.2;
+            assert!((gelu(x) + gelu(-x) - x).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gelu_derivative_matches_numeric() {
+        for i in -30..=30 {
+            let x = i as f32 * 0.1;
+            let analytic = gelu_derivative(x);
+            let numeric = numerical_derivative(gelu, x);
+            assert!(
+                (analytic - numeric).abs() < 2e-3,
+                "x={x}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(30.0) > 0.999_999);
+        assert!(sigmoid(-30.0) < 1e-6);
+        // σ(x) + σ(−x) = 1
+        for i in -20..=20 {
+            let x = i as f32 * 0.3;
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_numeric() {
+        for i in -20..=20 {
+            let x = i as f32 * 0.2;
+            let d = (sigmoid_derivative(x) - numerical_derivative(sigmoid, x)).abs();
+            assert!(d < 1e-3);
+        }
+    }
+
+    #[test]
+    fn hardswish_matches_reference_points() {
+        assert_eq!(hardswish(-4.0), 0.0);
+        assert_eq!(hardswish(4.0), 4.0);
+        assert_eq!(hardswish(0.0), 0.0);
+        assert!((hardswish(-1.5) - (-1.5 * 1.5 / 6.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hardswish_derivative_matches_numeric() {
+        for i in -25..=25 {
+            let x = i as f32 * 0.25 + 0.01; // avoid the exact kinks
+            let d = (hardswish_derivative(x) - numerical_derivative(hardswish, x)).abs();
+            assert!(d < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn relu_basics() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert_eq!(relu_derivative(-1.0), 0.0);
+        assert_eq!(relu_derivative(1.0), 1.0);
+    }
+}

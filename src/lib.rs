@@ -1,0 +1,1 @@
+//! HeatViT reproduction suite root crate; see `heatvit` (crates/core) for the library API.
