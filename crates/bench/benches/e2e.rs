@@ -1,1 +1,27 @@
-fn main() {}
+//! End-to-end engine throughput: dense vs. pruned variants on one batch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heatvit::Engine;
+use heatvit_bench::{adaptive_pruned, micro_backbone, static_pruned, synthetic_batch};
+
+fn bench_engine_variants(c: &mut Criterion) {
+    let images = synthetic_batch(4, 0);
+
+    let mut dense = Engine::new(micro_backbone(0));
+    c.bench_function("e2e/dense micro batch=4", |b| {
+        b.iter(|| dense.infer_batch(black_box(&images)))
+    });
+
+    let mut adaptive = Engine::new(adaptive_pruned(micro_backbone(0), 0));
+    c.bench_function("e2e/adaptive-pruned micro batch=4", |b| {
+        b.iter(|| adaptive.infer_batch(black_box(&images)))
+    });
+
+    let mut fixed = Engine::new(static_pruned(micro_backbone(0)));
+    c.bench_function("e2e/static-pruned micro batch=4", |b| {
+        b.iter(|| fixed.infer_batch(black_box(&images)))
+    });
+}
+
+criterion_group!(benches, bench_engine_variants);
+criterion_main!(benches);

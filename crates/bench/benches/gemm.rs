@@ -1,1 +1,59 @@
-fn main() {}
+//! Dense GEMM vs. pruned-repacked GEMM.
+//!
+//! The core hardware argument of HeatViT: after token pruning, gathering the
+//! surviving rows into a smaller dense matrix keeps the GEMM engine fully
+//! utilized (paper Fig. 9). This bench measures the DeiT-T-shaped QKV
+//! projection GEMM at the full 197-token count, at a 60%-kept repacked
+//! count, and the repack (gather) cost itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heatvit_bench::token_matrix;
+use heatvit_tensor::Tensor;
+
+const TOKENS: usize = 197;
+const DIM: usize = 192;
+
+fn kept_indices(frac: f64) -> Vec<usize> {
+    let kept = (TOKENS as f64 * frac) as usize;
+    (0..kept).map(|i| i * TOKENS / kept).collect()
+}
+
+fn bench_dense_gemm(c: &mut Criterion) {
+    let x = token_matrix(TOKENS, DIM, 0);
+    let w = token_matrix(DIM, DIM, 1);
+    c.bench_function("gemm/dense 197x192 . 192x192", |b| {
+        b.iter(|| black_box(&x).matmul(black_box(&w)))
+    });
+}
+
+fn bench_repacked_gemm(c: &mut Criterion) {
+    let x = token_matrix(TOKENS, DIM, 0);
+    let w = token_matrix(DIM, DIM, 1);
+    let keep = kept_indices(0.6);
+    let repacked = x.gather_rows(&keep);
+    c.bench_function("gemm/repacked 118x192 . 192x192", |b| {
+        b.iter(|| black_box(&repacked).matmul(black_box(&w)))
+    });
+    c.bench_function("gemm/repack gather 197->118 rows", |b| {
+        let mut out = Tensor::default();
+        b.iter(|| {
+            black_box(&x).gather_rows_into(black_box(&keep), &mut out);
+        })
+    });
+}
+
+fn bench_attention_scores(c: &mut Criterion) {
+    let q = token_matrix(TOKENS, 64, 2);
+    let k = token_matrix(TOKENS, 64, 3);
+    c.bench_function("gemm/attention scores Q.K^T 197x64", |b| {
+        b.iter(|| black_box(&q).matmul_transb(black_box(&k)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dense_gemm,
+    bench_repacked_gemm,
+    bench_attention_scores
+);
+criterion_main!(benches);

@@ -1,1 +1,31 @@
-fn main() {}
+//! Exact vs. polynomial-approximated nonlinearities (paper Section V-D).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heatvit_bench::token_matrix;
+use heatvit_quant::approx::{
+    gelu_approx_tensor, softmax_approx_rows, DEFAULT_DELTA1, DEFAULT_DELTA2,
+};
+use heatvit_tensor::scalar;
+
+fn bench_gelu(c: &mut Criterion) {
+    let x = token_matrix(196, 192, 0);
+    c.bench_function("nonlinear/gelu exact 196x192", |b| {
+        b.iter(|| black_box(&x).map(scalar::gelu))
+    });
+    c.bench_function("nonlinear/gelu approx (Eq. 12) 196x192", |b| {
+        b.iter(|| gelu_approx_tensor(black_box(&x), DEFAULT_DELTA1))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let scores = token_matrix(197, 197, 1);
+    c.bench_function("nonlinear/softmax exact 197x197", |b| {
+        b.iter(|| black_box(&scores).softmax_rows())
+    });
+    c.bench_function("nonlinear/softmax shift-approx (Eq. 13) 197x197", |b| {
+        b.iter(|| softmax_approx_rows(black_box(&scores), DEFAULT_DELTA2))
+    });
+}
+
+criterion_group!(benches, bench_gelu, bench_softmax);
+criterion_main!(benches);

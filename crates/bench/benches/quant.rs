@@ -1,1 +1,25 @@
-fn main() {}
+//! Float GEMM vs. int8 GEMM (the FPGA's DSP-packed arithmetic).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heatvit_bench::token_matrix;
+use heatvit_quant::{qmatmul, QTensor};
+
+fn bench_quant_gemm(c: &mut Criterion) {
+    let a = token_matrix(128, 128, 0);
+    let b = token_matrix(128, 128, 1);
+    let qa = QTensor::quantize(&a);
+    let qb = QTensor::quantize(&b);
+
+    c.bench_function("quant/f32 matmul 128x128", |bench| {
+        bench.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+    c.bench_function("quant/int8 qmatmul 128x128", |bench| {
+        bench.iter(|| qmatmul(black_box(&qa), black_box(&qb)))
+    });
+    c.bench_function("quant/calibrate+quantize 128x128", |bench| {
+        bench.iter(|| QTensor::quantize(black_box(&a)))
+    });
+}
+
+criterion_group!(benches, bench_quant_gemm);
+criterion_main!(benches);

@@ -1,1 +1,28 @@
-fn main() {}
+//! Token-selector scoring cost.
+//!
+//! The selector must be cheap relative to the blocks it prunes for (paper
+//! Table II charges it at well under one block). This bench measures the
+//! multi-head classifier scoring pass and the full decision (scoring +
+//! thresholding) on a DeiT-T-shaped token matrix.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heatvit_bench::token_matrix;
+use heatvit_selector::TokenSelector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_selector_scoring(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let selector = TokenSelector::new(192, 3, &mut rng);
+    let tokens = token_matrix(196, 192, 1);
+
+    c.bench_function("selector/classifier scores 196x192", |b| {
+        b.iter(|| selector.classifier().infer(black_box(&tokens)))
+    });
+    c.bench_function("selector/full decision 196x192", |b| {
+        b.iter(|| selector.infer(black_box(&tokens)))
+    });
+}
+
+criterion_group!(benches, bench_selector_scoring);
+criterion_main!(benches);

@@ -1,1 +1,83 @@
-fn main() { println!("placeholder"); }
+//! The variant throughput table: dense vs. adaptive-pruned vs.
+//! static-pruned, one `heatvit::Engine` per variant over the same synthetic
+//! batch.
+//!
+//! ```text
+//! cargo run --release -p heatvit-bench --bin run_all
+//! ```
+//!
+//! Before timing, the binary asserts batched/single parity for every
+//! variant, so the table is only printed for verified-identical arithmetic.
+
+use heatvit::{Engine, InferenceModel};
+use heatvit_bench::{adaptive_pruned, micro_backbone, static_pruned, synthetic_batch};
+use heatvit_tensor::Tensor;
+
+const BATCH: usize = 32;
+const WARMUP_BATCHES: usize = 2;
+
+struct Row {
+    variant: String,
+    throughput: f64,
+    ms_per_image: f64,
+    mmacs: f64,
+    mac_speedup: f64,
+    final_tokens: f64,
+}
+
+fn measure<M: InferenceModel>(model: M, images: &[Tensor]) -> Row {
+    let dense_macs = model.dense_macs() as f64;
+    let mut engine = Engine::new(model);
+
+    // Parity gate: every batched row must equal the per-image path bitwise.
+    let probe = engine.infer_batch(&images[..4.min(images.len())]);
+    for (i, image) in images[..probe.len()].iter().enumerate() {
+        let single = engine.infer_one(image);
+        assert_eq!(
+            probe.logits.row(i),
+            single.logits.data(),
+            "batched/single divergence in {}",
+            engine.model().variant()
+        );
+    }
+
+    for _ in 0..WARMUP_BATCHES {
+        engine.infer_batch(images);
+    }
+    let out = engine.infer_batch(images);
+    Row {
+        variant: engine.model().variant().to_string(),
+        throughput: out.throughput(),
+        ms_per_image: out.elapsed.as_secs_f64() * 1e3 / out.len() as f64,
+        mmacs: out.mean_macs() / 1e6,
+        mac_speedup: dense_macs / out.mean_macs().max(1.0),
+        final_tokens: *out.mean_tokens_per_block().last().unwrap_or(&0.0),
+    }
+}
+
+fn main() {
+    let images = synthetic_batch(BATCH, 0);
+    println!(
+        "heatvit run_all: micro backbone, {} synthetic 32x32 images per batch\n",
+        images.len()
+    );
+
+    let rows = [
+        measure(micro_backbone(0), &images),
+        measure(adaptive_pruned(micro_backbone(0), 0), &images),
+        measure(static_pruned(micro_backbone(0)), &images),
+    ];
+
+    println!(
+        "{:<18} {:>12} {:>10} {:>12} {:>12} {:>14}",
+        "variant", "images/s", "ms/image", "MMACs/img", "MAC-speedup", "final tokens"
+    );
+    println!("{}", "-".repeat(82));
+    for r in &rows {
+        println!(
+            "{:<18} {:>12.1} {:>10.3} {:>12.2} {:>11.2}x {:>14.1}",
+            r.variant, r.throughput, r.ms_per_image, r.mmacs, r.mac_speedup, r.final_tokens
+        );
+    }
+    println!("\nparity: batched logits bitwise-identical to per-image inference for all variants");
+}

@@ -1,2 +1,93 @@
-//! Benchmark harness for the HeatViT reproduction (see `src/bin/` for per-table/figure binaries).
-pub use heatvit_vit as vit;
+//! Benchmark harness for the HeatViT reproduction.
+//!
+//! The criterion microbenches live in `benches/` (GEMM repacking, selector
+//! scoring, int8 GEMM, nonlinearity approximations, end-to-end engine) and
+//! the `run_all` binary prints the dense vs. adaptive-pruned vs.
+//! static-pruned throughput table over a synthetic batch. This library
+//! provides the shared fixtures so every bench measures the same models and
+//! data.
+
+#![warn(missing_docs)]
+
+use heatvit_data::{SyntheticConfig, SyntheticDataset};
+use heatvit_selector::{PrunedViT, StaticPrunedViT, StaticRule, StaticStage, TokenSelector};
+use heatvit_tensor::Tensor;
+use heatvit_vit::{ViTConfig, VisionTransformer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of classes used by every benchmark fixture.
+pub const BENCH_CLASSES: usize = 8;
+
+/// The dense micro backbone (weights deterministic in `seed`).
+pub fn micro_backbone(seed: u64) -> VisionTransformer {
+    let mut rng = StdRng::seed_from_u64(seed);
+    VisionTransformer::new(ViTConfig::micro(BENCH_CLASSES), &mut rng)
+}
+
+/// The adaptive-pruned variant over a given backbone: selectors in front of
+/// blocks 1 and 3 (a two-stage schedule on the 6-block micro config).
+pub fn adaptive_pruned(backbone: VisionTransformer, seed: u64) -> PrunedViT {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+    let dim = backbone.config().embed_dim;
+    let heads = backbone.config().num_heads;
+    let mut model = PrunedViT::new(backbone);
+    model.insert_selector(1, TokenSelector::new(dim, heads, &mut rng));
+    model.insert_selector(3, TokenSelector::new(dim, heads, &mut rng));
+    model
+}
+
+/// The static-pruned variant over a given backbone, with keep ratios
+/// matched to a typical adaptive schedule (0.7 then 0.6).
+pub fn static_pruned(backbone: VisionTransformer) -> StaticPrunedViT {
+    StaticPrunedViT::new(
+        backbone,
+        vec![
+            StaticStage {
+                block: 1,
+                keep_ratio: 0.7,
+            },
+            StaticStage {
+                block: 3,
+                keep_ratio: 0.6,
+            },
+        ],
+        StaticRule::CliffAttention,
+        0,
+    )
+}
+
+/// A batch of synthetic 32×32 images matching the micro config.
+pub fn synthetic_batch(count: usize, seed: u64) -> Vec<Tensor> {
+    SyntheticDataset::generate(SyntheticConfig::micro(), count, seed)
+        .iter()
+        .map(|s| s.image.clone())
+        .collect()
+}
+
+/// A deterministic `[n, d]` token matrix for layer-level benches.
+pub fn token_matrix(n: usize, d: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::rand_normal(&[n, d], 0.0, 1.0, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_consistent() {
+        let a = micro_backbone(1);
+        let b = micro_backbone(1);
+        let img = &synthetic_batch(1, 0)[0];
+        assert_eq!(a.infer(img).data(), b.infer(img).data());
+        assert_eq!(img.dims(), &[3, 32, 32]);
+
+        let pruned = adaptive_pruned(a, 1);
+        let out = pruned.infer(img);
+        assert_eq!(out.tokens_per_block.len(), 6);
+
+        let stat = static_pruned(b);
+        assert_eq!(stat.infer(img).tokens_per_block.len(), 6);
+    }
+}

@@ -1,0 +1,245 @@
+//! The batched inference [`Engine`].
+
+use crate::model::{InferenceModel, ModelOutput};
+use heatvit_data::{Batch, Loader};
+use heatvit_nn::accuracy;
+use heatvit_selector::PruneScratch;
+use heatvit_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Result of pushing one batch of images through an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Stacked classification logits `[B, num_classes]`; row `i` is
+    /// bit-identical to the per-image `infer` logits of image `i`.
+    pub logits: Tensor,
+    /// Per image: token count entering each encoder block.
+    pub tokens_per_block: Vec<Vec<usize>>,
+    /// Per image: multiply–accumulate estimate at actual token counts.
+    pub macs: Vec<u64>,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchOutput {
+    /// Number of images in the batch.
+    pub fn len(&self) -> usize {
+        self.macs.len()
+    }
+
+    /// `true` if the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.macs.is_empty()
+    }
+
+    /// Predicted class per image.
+    pub fn predictions(&self) -> Vec<usize> {
+        self.logits.argmax_rows()
+    }
+
+    /// Images per second over the batch's wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.len() as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Mean MAC count per image.
+    pub fn mean_macs(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.macs.iter().sum::<u64>() as f64 / self.len() as f64
+    }
+
+    /// Mean token count entering each block, averaged over the batch —
+    /// the "average kept tokens" curve of paper Fig. 4.
+    pub fn mean_tokens_per_block(&self) -> Vec<f64> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let depth = self.tokens_per_block[0].len();
+        let mut sums = vec![0.0f64; depth];
+        for per_image in &self.tokens_per_block {
+            for (s, &n) in sums.iter_mut().zip(per_image.iter()) {
+                *s += n as f64;
+            }
+        }
+        for s in &mut sums {
+            *s /= self.len() as f64;
+        }
+        sums
+    }
+}
+
+/// Aggregate statistics of a whole-dataset run ([`Engine::run_epoch`]).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Images processed.
+    pub images: usize,
+    /// Batches processed.
+    pub batches: usize,
+    /// Classification accuracy against the dataset labels.
+    pub accuracy: f32,
+    /// Images per second across all batches (inference time only).
+    pub images_per_sec: f64,
+    /// Mean MAC count per image.
+    pub mean_macs: f64,
+    /// Mean token count entering the final block.
+    pub mean_final_tokens: f64,
+}
+
+/// A batched inference engine: one model variant plus a persistent scratch
+/// workspace.
+///
+/// The engine amortizes dispatch over a batch — activation, repacking, and
+/// keep-mask buffers are allocated once and reused for every image — and
+/// reports throughput alongside the per-image cost model. Because every
+/// variant implements [`InferenceModel`] through its own bit-exact `infer`
+/// arithmetic, engine outputs are directly comparable across dense,
+/// adaptive-pruned, and static-pruned models.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit::{Engine, InferenceModel};
+/// use heatvit_tensor::Tensor;
+/// use heatvit_vit::{ViTConfig, VisionTransformer};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let model = VisionTransformer::new(ViTConfig::test_tiny(4), &mut rng);
+/// let images: Vec<Tensor> = (0..3)
+///     .map(|_| Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng))
+///     .collect();
+/// let mut engine = Engine::new(model);
+/// let out = engine.infer_batch(&images);
+/// assert_eq!(out.logits.dims(), &[3, 4]);
+/// // Batched logits match the per-image path bitwise.
+/// let single = engine.model().infer(&images[1]);
+/// assert_eq!(out.logits.row(1), single.row(0));
+/// ```
+#[derive(Debug)]
+pub struct Engine<M: InferenceModel> {
+    model: M,
+    scratch: PruneScratch,
+}
+
+impl<M: InferenceModel> Engine<M> {
+    /// Wraps a model with a fresh scratch workspace.
+    pub fn new(model: M) -> Self {
+        Self {
+            model,
+            scratch: PruneScratch::default(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Classifies one image through the shared scratch workspace.
+    pub fn infer_one(&mut self, image: &Tensor) -> ModelOutput {
+        self.model.infer_one(image, &mut self.scratch)
+    }
+
+    /// Pushes a batch of images through the model, reusing one scratch
+    /// workspace across the whole batch.
+    pub fn infer_batch(&mut self, images: &[Tensor]) -> BatchOutput {
+        self.infer_batch_iter(images.iter())
+    }
+
+    /// [`Engine::infer_batch`] over any iterator of borrowed images (used
+    /// directly by the loader integration, whose batches hold `&Sample`).
+    pub fn infer_batch_iter<'a>(
+        &mut self,
+        images: impl Iterator<Item = &'a Tensor>,
+    ) -> BatchOutput {
+        let classes = self.model.config().num_classes;
+        let start = Instant::now();
+        let mut logits_data: Vec<f32> = Vec::new();
+        let mut tokens_per_block = Vec::new();
+        let mut macs = Vec::new();
+        for image in images {
+            let out = self.model.infer_one(image, &mut self.scratch);
+            debug_assert_eq!(out.logits.dims(), &[1, classes]);
+            logits_data.extend_from_slice(out.logits.data());
+            tokens_per_block.push(out.tokens_per_block);
+            macs.push(out.macs);
+        }
+        let elapsed = start.elapsed();
+        let batch = macs.len();
+        BatchOutput {
+            logits: Tensor::from_vec(logits_data, &[batch, classes]),
+            tokens_per_block,
+            macs,
+            elapsed,
+        }
+    }
+
+    /// Classifies one loader batch.
+    pub fn infer_samples(&mut self, batch: &Batch<'_>) -> BatchOutput {
+        self.infer_batch_iter(batch.samples.iter().map(|s| &s.image))
+    }
+
+    /// Runs one full epoch of `loader` (no shuffling effect on results other
+    /// than order), aggregating accuracy, throughput, and cost.
+    pub fn run_epoch(&mut self, loader: &Loader<'_>, epoch: u64) -> EngineReport {
+        let mut images = 0usize;
+        let mut batches = 0usize;
+        let mut correct = 0.0f64;
+        let mut inference_time = Duration::ZERO;
+        let mut total_macs = 0u64;
+        let mut final_tokens = 0u64;
+        for batch in loader.iter_epoch(epoch) {
+            let out = self.infer_samples(&batch);
+            let labels = batch.labels();
+            correct += accuracy(&out.logits, &labels) as f64 * labels.len() as f64;
+            images += out.len();
+            batches += 1;
+            inference_time += out.elapsed;
+            total_macs += out.macs.iter().sum::<u64>();
+            final_tokens += out
+                .tokens_per_block
+                .iter()
+                .map(|t| *t.last().unwrap_or(&0) as u64)
+                .sum::<u64>();
+        }
+        EngineReport {
+            images,
+            batches,
+            accuracy: if images == 0 {
+                0.0
+            } else {
+                (correct / images as f64) as f32
+            },
+            images_per_sec: if images == 0 {
+                0.0
+            } else {
+                images as f64 / inference_time.as_secs_f64().max(1e-12)
+            },
+            mean_macs: if images == 0 {
+                0.0
+            } else {
+                total_macs as f64 / images as f64
+            },
+            mean_final_tokens: if images == 0 {
+                0.0
+            } else {
+                final_tokens as f64 / images as f64
+            },
+        }
+    }
+}

@@ -1,1 +1,68 @@
-//! placeholder (implementation in progress)
+//! # heatvit
+//!
+//! The unifying layer of the [HeatViT](https://arxiv.org/abs/2211.08110)
+//! reproduction workspace: one batched inference engine over every model
+//! variant.
+//!
+//! The lower crates each own one concern — `heatvit-tensor` (dense `f32`
+//! math), `heatvit-nn` (autograd + layers), `heatvit-vit` (the backbone),
+//! `heatvit-selector` (adaptive and static token pruning), `heatvit-quant`
+//! (int8 arithmetic), `heatvit-data` (synthetic datasets) — but they expose
+//! three *different* single-image inference APIs. This crate folds them into
+//! one:
+//!
+//! * [`InferenceModel`] — implemented by `VisionTransformer`, `PrunedViT`,
+//!   and `StaticPrunedViT`: classify one image, report per-block token
+//!   counts and a MAC estimate;
+//! * [`Engine`] — drives an `InferenceModel` over batches with a persistent
+//!   scratch workspace (no per-image allocation of activations, keep-masks,
+//!   or repacking buffers), producing [`BatchOutput`] with stacked logits
+//!   that are bit-identical to the per-image path;
+//! * [`Engine::run_epoch`] — the dataset-level harness reporting accuracy,
+//!   throughput, and mean cost per variant, the substrate for every
+//!   dense-vs-pruned comparison in the paper.
+//!
+//! ## Example: comparing variants under one harness
+//!
+//! ```
+//! use heatvit::{Engine, InferenceModel};
+//! use heatvit_selector::{PrunedViT, TokenSelector};
+//! use heatvit_tensor::Tensor;
+//! use heatvit_vit::{ViTConfig, VisionTransformer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let backbone = VisionTransformer::new(ViTConfig::micro(8), &mut rng);
+//! let mut pruned = PrunedViT::new(backbone.clone());
+//! pruned.insert_selector(3, TokenSelector::new(48, 3, &mut rng));
+//!
+//! let images: Vec<Tensor> = (0..4)
+//!     .map(|_| Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng))
+//!     .collect();
+//!
+//! let dense_out = Engine::new(backbone).infer_batch(&images);
+//! let pruned_out = Engine::new(pruned).infer_batch(&images);
+//! assert_eq!(dense_out.logits.dims(), pruned_out.logits.dims());
+//! // The pruned variant never carries more than one extra (package) token.
+//! let dense_tokens = dense_out.mean_tokens_per_block();
+//! let pruned_tokens = pruned_out.mean_tokens_per_block();
+//! for (p, d) in pruned_tokens.iter().zip(dense_tokens.iter()) {
+//!     assert!(p <= &(d + 1.0));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod model;
+
+pub use engine::{BatchOutput, Engine, EngineReport};
+pub use model::{InferenceModel, ModelOutput};
+
+// Re-export the workspace crates so `heatvit` works as a facade.
+pub use heatvit_data as data;
+pub use heatvit_nn as nn;
+pub use heatvit_quant as quant;
+pub use heatvit_selector as selector;
+pub use heatvit_tensor as tensor;
+pub use heatvit_vit as vit;

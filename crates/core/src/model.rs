@@ -1,0 +1,115 @@
+//! The [`InferenceModel`] trait: one interface over the dense, adaptively
+//! pruned, and statically pruned ViT variants.
+
+use heatvit_selector::{PruneScratch, PrunedViT, StaticPrunedViT};
+use heatvit_tensor::Tensor;
+use heatvit_vit::{ViTConfig, VisionTransformer};
+
+/// Result of one image's inference through any model variant.
+#[derive(Debug, Clone)]
+pub struct ModelOutput {
+    /// Classification logits `[1, num_classes]`.
+    pub logits: Tensor,
+    /// Token count entering each encoder block (class/package included).
+    pub tokens_per_block: Vec<usize>,
+    /// Multiply–accumulate estimate for this inference at its actual
+    /// per-block token counts.
+    pub macs: u64,
+}
+
+/// A model that can classify one image and account for its own cost.
+///
+/// Implemented by [`VisionTransformer`] (dense baseline), [`PrunedViT`]
+/// (adaptive HeatViT pruning), and [`StaticPrunedViT`] (input-agnostic
+/// pruning baselines), so the [`crate::Engine`] can benchmark all three
+/// under a single harness — the comparison setup of paper Figs. 2 and 4.
+///
+/// The trait is object safe: heterogeneous model fleets can be held as
+/// `Box<dyn InferenceModel>`.
+pub trait InferenceModel {
+    /// Short human-readable variant name for report tables.
+    fn variant(&self) -> &str;
+
+    /// The backbone architecture configuration.
+    fn config(&self) -> &ViTConfig;
+
+    /// Classifies one image, reusing `scratch` for every intermediate
+    /// buffer. Must be bit-identical to the variant's single-image `infer`
+    /// path.
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput;
+
+    /// Multiply–accumulate count with the full token count in every block —
+    /// the dense-cost baseline pruning is measured against.
+    fn dense_macs(&self) -> u64;
+}
+
+impl InferenceModel for VisionTransformer {
+    fn variant(&self) -> &str {
+        "dense"
+    }
+
+    fn config(&self) -> &ViTConfig {
+        self.config()
+    }
+
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        let logits = self.infer_with(image, &mut scratch.vit);
+        ModelOutput {
+            logits,
+            tokens_per_block: vec![self.config().num_tokens(); self.config().depth],
+            macs: self.macs(),
+        }
+    }
+
+    fn dense_macs(&self) -> u64 {
+        self.macs()
+    }
+}
+
+impl InferenceModel for PrunedViT {
+    fn variant(&self) -> &str {
+        "adaptive-pruned"
+    }
+
+    fn config(&self) -> &ViTConfig {
+        self.backbone().config()
+    }
+
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        let inference = self.infer_with(image, scratch);
+        let macs = self.macs(&inference);
+        ModelOutput {
+            logits: inference.logits,
+            tokens_per_block: inference.tokens_per_block,
+            macs,
+        }
+    }
+
+    fn dense_macs(&self) -> u64 {
+        self.backbone().macs()
+    }
+}
+
+impl InferenceModel for StaticPrunedViT {
+    fn variant(&self) -> &str {
+        "static-pruned"
+    }
+
+    fn config(&self) -> &ViTConfig {
+        self.backbone().config()
+    }
+
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        let inference = self.infer_with(image, scratch);
+        let macs = self.macs(&inference);
+        ModelOutput {
+            logits: inference.logits,
+            tokens_per_block: inference.tokens_per_block,
+            macs,
+        }
+    }
+
+    fn dense_macs(&self) -> u64 {
+        self.backbone().macs()
+    }
+}

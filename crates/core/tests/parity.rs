@@ -1,0 +1,152 @@
+//! Batched-vs-single-image parity: `Engine::infer_batch` must be
+//! bit-identical to the per-image `infer` paths for every model variant,
+//! and pruning must be monotone across selector stages.
+
+use heatvit::{Engine, InferenceModel};
+use heatvit_data::{Loader, SyntheticConfig, SyntheticDataset};
+use heatvit_selector::{PrunedViT, StaticPrunedViT, StaticRule, StaticStage, TokenSelector};
+use heatvit_tensor::Tensor;
+use heatvit_vit::{ViTConfig, VisionTransformer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn backbone(rng: &mut StdRng) -> VisionTransformer {
+    VisionTransformer::new(ViTConfig::micro(4), rng)
+}
+
+fn pruned(rng: &mut StdRng) -> PrunedViT {
+    let backbone = backbone(rng);
+    let dim = backbone.config().embed_dim;
+    let heads = backbone.config().num_heads;
+    let mut model = PrunedViT::new(backbone);
+    model.insert_selector(1, TokenSelector::new(dim, heads, rng));
+    model.insert_selector(3, TokenSelector::new(dim, heads, rng));
+    model
+}
+
+fn static_pruned(rng: &mut StdRng) -> StaticPrunedViT {
+    StaticPrunedViT::new(
+        backbone(rng),
+        vec![
+            StaticStage {
+                block: 1,
+                keep_ratio: 0.7,
+            },
+            StaticStage {
+                block: 3,
+                keep_ratio: 0.6,
+            },
+        ],
+        StaticRule::CliffAttention,
+        0,
+    )
+}
+
+fn images(rng: &mut StdRng, count: usize) -> Vec<Tensor> {
+    (0..count)
+        .map(|_| Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, rng))
+        .collect()
+}
+
+/// Asserts that every batched logit row equals the per-image path bitwise.
+fn assert_batch_matches_single<M: InferenceModel>(
+    model: M,
+    single_logits: &[Tensor],
+    images: &[Tensor],
+) {
+    let mut engine = Engine::new(model);
+    let out = engine.infer_batch(images);
+    assert_eq!(out.logits.dims(), &[images.len(), 4]);
+    for (i, single) in single_logits.iter().enumerate() {
+        assert_eq!(
+            out.logits.row(i),
+            single.data(),
+            "batched row {i} diverges from per-image inference for {}",
+            engine.model().variant()
+        );
+    }
+    // The same batch re-run through the warm scratch must also be stable.
+    let again = engine.infer_batch(images);
+    assert_eq!(again.logits.data(), out.logits.data());
+}
+
+#[test]
+fn dense_batch_is_bitwise_identical_to_single() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = backbone(&mut rng);
+    let imgs = images(&mut rng, 5);
+    let single: Vec<Tensor> = imgs.iter().map(|im| model.infer(im)).collect();
+    assert_batch_matches_single(model, &single, &imgs);
+}
+
+#[test]
+fn adaptive_pruned_batch_is_bitwise_identical_to_single() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let model = pruned(&mut rng);
+    let imgs = images(&mut rng, 5);
+    let single: Vec<Tensor> = imgs.iter().map(|im| model.infer(im).logits).collect();
+    assert_batch_matches_single(model, &single, &imgs);
+}
+
+#[test]
+fn static_pruned_batch_is_bitwise_identical_to_single() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = static_pruned(&mut rng);
+    let imgs = images(&mut rng, 5);
+    let single: Vec<Tensor> = imgs.iter().map(|im| model.infer(im).logits).collect();
+    assert_batch_matches_single(model, &single, &imgs);
+}
+
+#[test]
+fn pruned_token_counts_are_monotone_across_stages() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let model = pruned(&mut rng);
+    let selector_blocks = model.selector_blocks();
+    let mut engine = Engine::new(model);
+    for image in images(&mut rng, 8) {
+        let out = engine.infer_one(&image);
+        // Patch-token counts entering each selector stage may only shrink
+        // (the package token is excluded: at most one non-patch extra).
+        let mut last = usize::MAX;
+        for &b in &selector_blocks {
+            let n = out.tokens_per_block[b];
+            assert!(
+                n <= last,
+                "token count grew entering selector block {b}: {n} > {last}"
+            );
+            last = n;
+        }
+        // And no block may ever exceed the dense count plus a package token.
+        let dense = engine.model().config().num_tokens();
+        for &n in &out.tokens_per_block {
+            assert!(n <= dense + 1);
+        }
+    }
+}
+
+#[test]
+fn static_batch_entry_points_agree() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = static_pruned(&mut rng);
+    let imgs = images(&mut rng, 3);
+    let batched = model.infer_batch(&imgs);
+    for (inference, image) in batched.iter().zip(imgs.iter()) {
+        assert_eq!(inference.logits.data(), model.infer(image).logits.data());
+    }
+}
+
+#[test]
+fn engine_runs_a_loader_epoch() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let model = pruned(&mut rng);
+    let dataset = SyntheticDataset::generate(SyntheticConfig::micro(), 12, 0);
+    let loader = Loader::new(&dataset, 4, false, 0);
+    let mut engine = Engine::new(model);
+    let report = engine.run_epoch(&loader, 0);
+    assert_eq!(report.images, 12);
+    assert_eq!(report.batches, 3);
+    assert!((0.0..=1.0).contains(&report.accuracy));
+    assert!(report.images_per_sec > 0.0);
+    assert!(report.mean_macs > 0.0);
+    assert!(report.mean_final_tokens > 0.0);
+}

@@ -76,7 +76,8 @@ impl<'a> Loader<'a> {
     pub fn iter_epoch(&self, epoch: u64) -> impl Iterator<Item = Batch<'a>> + '_ {
         let mut order: Vec<usize> = (0..self.dataset.len()).collect();
         if self.shuffle {
-            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(epoch));
+            let mut rng =
+                StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(epoch));
             order.shuffle(&mut rng);
         }
         let dataset = self.dataset;

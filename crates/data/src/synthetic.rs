@@ -194,9 +194,9 @@ pub fn generate_sample(config: &SyntheticConfig, label: usize, rng: &mut StdRng)
                 r1 = r1.max(row + 1);
                 c1 = c1.max(col + 1);
             }
-            for ch in 0..config.channels {
+            for (ch, &tint_value) in tint.iter().enumerate() {
                 let bg = base + gx * (col as f32 / n as f32) + gy * (row as f32 / n as f32);
-                let value = if inside { tint[ch] } else { bg };
+                let value = if inside { tint_value } else { bg };
                 let noise = config.noise_std * heatvit_tensor::sample_standard_normal(rng);
                 image.set(&[ch, row, col], (value + noise).clamp(0.0, 1.0));
             }

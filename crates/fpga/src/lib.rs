@@ -1,1 +1,12 @@
-//! placeholder (implementation in progress)
+//! # heatvit-fpga
+//!
+//! Latency and resource model of the HeatViT FPGA accelerator: the tiled
+//! GEMM engine (paper Fig. 8), DSP packing for int8 MACs, and the
+//! Table III/IV cycle accounting.
+//!
+//! Placeholder: the int8 arithmetic it models is implemented in
+//! `heatvit-quant`, and per-variant MAC counts flow through
+//! `heatvit::InferenceModel::infer_one`; the cycle/BRAM model lands in a
+//! follow-up PR (see `ROADMAP.md` → Open items).
+
+#![warn(missing_docs)]

@@ -57,6 +57,15 @@ impl Activation {
         }
     }
 
+    /// Applies the activation elementwise in place (the allocation-free
+    /// variant of [`Activation::infer`], bit-identical values).
+    pub fn apply_inplace(&self, x: &mut Tensor) {
+        if let Activation::Identity = self {
+            return;
+        }
+        x.map_inplace(|v| self.apply(v));
+    }
+
     /// Scalar application (used by the quantizer's lookup construction).
     pub fn apply(&self, x: f32) -> f32 {
         match self {

@@ -136,6 +136,23 @@ impl Linear {
         }
     }
 
+    /// [`Linear::infer`] writing into a caller-provided output tensor.
+    ///
+    /// `out` is reshaped in place (reusing its allocation) and overwritten
+    /// with values bit-identical to `self.infer(x)` — the building block of
+    /// the batched engine's allocation-free hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, in_features]`.
+    pub fn infer_into(&self, x: &Tensor, out: &mut Tensor) {
+        assert_eq!(x.dim(1), self.in_features, "linear input width mismatch");
+        match &self.bias {
+            Some(b) => x.matmul_bias_into(self.weight.value(), b.value(), out),
+            None => x.matmul_into(self.weight.value(), out),
+        }
+    }
+
     /// Multiply–accumulate count for an input of `n` rows (used by the
     /// complexity model and the FPGA scheduler).
     pub fn macs(&self, n: usize) -> u64 {

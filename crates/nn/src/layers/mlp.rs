@@ -88,6 +88,19 @@ impl Mlp {
         self.fc2.infer(&h)
     }
 
+    /// [`Mlp::infer`] reusing a caller-provided hidden buffer and writing
+    /// the result into `out` (both reshaped in place; values bit-identical
+    /// to the allocating path).
+    ///
+    /// The `[N, hidden]` intermediate is the largest activation in a ViT
+    /// block, so reusing it across a batch is the biggest single win of the
+    /// engine's scratch workspace.
+    pub fn infer_into(&self, x: &Tensor, hidden: &mut Tensor, out: &mut Tensor) {
+        self.fc1.infer_into(x, hidden);
+        self.act.apply_inplace(hidden);
+        self.fc2.infer_into(hidden, out);
+    }
+
     /// Multiply–accumulate count for `n` input rows.
     pub fn macs(&self, n: usize) -> u64 {
         self.fc1.macs(n) + self.fc2.macs(n)

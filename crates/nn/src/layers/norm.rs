@@ -67,12 +67,24 @@ impl LayerNorm {
     ///
     /// Panics if `x` is not `[N, dim]`.
     pub fn infer(&self, x: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.infer_into(x, &mut out);
+        out
+    }
+
+    /// [`LayerNorm::infer`] writing into a caller-provided output tensor
+    /// (reshaped in place, values bit-identical to the allocating path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, dim]`.
+    pub fn infer_into(&self, x: &Tensor, out: &mut Tensor) {
         assert_eq!(x.dim(1), self.dim, "layernorm width mismatch");
         let (rows, cols) = (x.dim(0), x.dim(1));
         let (means, vars) = x.row_mean_var();
         let g = self.gamma.value().data();
         let b = self.beta.value().data();
-        let mut out = Tensor::zeros(&[rows, cols]);
+        out.reset_zeroed(&[rows, cols]);
         for r in 0..rows {
             let inv_std = 1.0 / (vars[r] + self.eps).sqrt();
             let xrow = x.row(r);
@@ -81,7 +93,6 @@ impl LayerNorm {
                 orow[j] = (xrow[j] - means[r]) * inv_std * g[j] + b[j];
             }
         }
-        out
     }
 }
 
@@ -106,7 +117,12 @@ mod tests {
         let y = ln.infer(&x);
         for r in 0..3 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
-            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-5);
             assert!((var - 1.0).abs() < 1e-3);
         }

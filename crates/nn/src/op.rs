@@ -23,7 +23,9 @@ pub(crate) enum Op {
     Mul(Var, Var),
     /// `a * s` for scalar `s`.
     Scale(Var, f32),
-    /// `a + s` for scalar `s`.
+    /// `a + s` for scalar `s`. The scalar is recorded for completeness of
+    /// the op log only — the backward rule is identity, so it is never read.
+    #[allow(dead_code)]
     AddScalar(Var, f32),
     /// `x[N,D] + bias[D]` broadcast over rows.
     AddRowBroadcast(Var, Var),
@@ -80,7 +82,10 @@ pub(crate) enum Op {
     MeanAll(Var),
     /// Sum over all elements `→ [1]`.
     SumAll(Var),
-    /// `a + c` for a constant tensor `c` (no gradient to `c`).
+    /// `a + c` for a constant tensor `c` (no gradient to `c`). The constant
+    /// is recorded for completeness of the op log only — the backward rule
+    /// is identity, so it is never read.
+    #[allow(dead_code)]
     AddConst(Var, Tensor),
     /// `a * c` elementwise for a constant tensor `c` (no gradient to `c`).
     MulConst(Var, Tensor),
@@ -143,7 +148,12 @@ impl Op {
 
     /// Computes `(parent, gradient)` contributions given the upstream
     /// gradient `grad` and this node's forward `value`.
-    pub(crate) fn backward(&self, tape: &Tape, value: &Tensor, grad: &Tensor) -> Vec<(Var, Tensor)> {
+    pub(crate) fn backward(
+        &self,
+        tape: &Tape,
+        value: &Tensor,
+        grad: &Tensor,
+    ) -> Vec<(Var, Tensor)> {
         match self {
             Op::Leaf => vec![],
             Op::Add(a, b) => vec![(*a, grad.clone()), (*b, grad.clone())],
@@ -234,7 +244,12 @@ impl Op {
                 }
                 vec![(*a, gx)]
             }
-            Op::LayerNorm { x, gamma, beta, eps } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            } => {
                 let xv = tape.value(*x);
                 let gv = tape.value(*gamma);
                 let (rows, cols) = (xv.dim(0), xv.dim(1));
@@ -247,8 +262,7 @@ impl Op {
                     let xrow = xv.row(r);
                     let grow = grad.row(r);
                     // x̂ and the two row means the dx formula needs.
-                    let xhat: Vec<f32> =
-                        xrow.iter().map(|&v| (v - means[r]) * inv_std).collect();
+                    let xhat: Vec<f32> = xrow.iter().map(|&v| (v - means[r]) * inv_std).collect();
                     let gg: Vec<f32> = grow
                         .iter()
                         .zip(gv.data().iter())
@@ -350,7 +364,10 @@ impl Op {
             Op::AddConst(a, _) => vec![(*a, grad.clone())],
             Op::MulConst(a, c) => vec![(*a, grad.mul(c))],
             Op::CrossEntropy {
-                logits, targets, probs, ..
+                logits,
+                targets,
+                probs,
+                ..
             } => {
                 let batch = targets.len() as f32;
                 let g0 = grad.data()[0];

@@ -90,10 +90,7 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        let requires_grad = op
-            .parents()
-            .iter()
-            .any(|p| self.nodes[p.0].requires_grad);
+        let requires_grad = op.parents().iter().any(|p| self.nodes[p.0].requires_grad);
         self.nodes.push(Node {
             value,
             op,
@@ -286,7 +283,15 @@ impl Tape {
                 orow[j] = (xrow[j] - means[r]) * inv_std * gv.data()[j] + bv.data()[j];
             }
         }
-        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+        )
     }
 
     // ----- reductions & structure ---------------------------------------

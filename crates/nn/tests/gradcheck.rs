@@ -80,15 +80,15 @@ fn gc_add_sub_mul() {
 fn gc_scale_and_offsets() {
     let mut r = rng();
     let a = Tensor::rand_normal(&[3, 2], 0.0, 1.0, &mut r);
-    gradcheck("scale", &[a.clone()], |t, v| {
+    gradcheck("scale", std::slice::from_ref(&a), |t, v| {
         let s = t.scale(v[0], -1.7);
         t.sum_all(s)
     });
-    gradcheck("add_scalar", &[a.clone()], |t, v| {
+    gradcheck("add_scalar", std::slice::from_ref(&a), |t, v| {
         let s = t.add_scalar(v[0], 0.3);
         t.mean_all(s)
     });
-    gradcheck("add_const", &[a.clone()], |t, v| {
+    gradcheck("add_const", std::slice::from_ref(&a), |t, v| {
         let s = t.add_const(v[0], Tensor::full(&[3, 2], 0.5));
         t.sum_all(s)
     });
@@ -131,7 +131,7 @@ fn gc_matmul_family() {
         let sq = t.mul(s, s);
         t.sum_all(sq)
     });
-    gradcheck("transpose", &[a.clone()], |t, v| {
+    gradcheck("transpose", std::slice::from_ref(&a), |t, v| {
         let s = t.transpose(v[0]);
         let w = t.constant(Tensor::from_fn(&[3, 2], |ix| (ix[0] + ix[1]) as f32 * 0.2));
         let p = t.matmul(s, w);
@@ -150,18 +150,19 @@ fn gc_nonlinearities() {
     // Keep away from ReLU/Hardswish kinks for clean finite differences.
     let a = Tensor::rand_uniform(&[2, 5], 0.2, 2.0, &mut r);
     let b = Tensor::rand_uniform(&[2, 5], -2.0, -0.2, &mut r);
-    let cases: [(&str, fn(&mut Tape, Var) -> Var); 4] = [
+    type UnaryOp = fn(&mut Tape, Var) -> Var;
+    let cases: [(&str, UnaryOp); 4] = [
         ("gelu", |t, v| t.gelu(v)),
         ("relu", |t, v| t.relu(v)),
         ("hardswish", |t, v| t.hardswish(v)),
         ("sigmoid", |t, v| t.sigmoid(v)),
     ];
     for (name, mk) in cases {
-        gradcheck(name, &[a.clone()], |t, v| {
+        gradcheck(name, std::slice::from_ref(&a), |t, v| {
             let s = mk(t, v[0]);
             t.sum_all(s)
         });
-        gradcheck(name, &[b.clone()], |t, v| {
+        gradcheck(name, std::slice::from_ref(&b), |t, v| {
             let s = mk(t, v[0]);
             t.sum_all(s)
         });
@@ -201,12 +202,12 @@ fn gc_layer_norm() {
 fn gc_reductions_and_structure() {
     let mut r = rng();
     let a = Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut r);
-    gradcheck("mean_cols_keep", &[a.clone()], |t, v| {
+    gradcheck("mean_cols_keep", std::slice::from_ref(&a), |t, v| {
         let s = t.mean_cols_keep(v[0]);
         let sq = t.mul(s, s);
         t.sum_all(sq)
     });
-    gradcheck("mean_rows_keep", &[a.clone()], |t, v| {
+    gradcheck("mean_rows_keep", std::slice::from_ref(&a), |t, v| {
         let s = t.mean_rows_keep(v[0]);
         let sq = t.mul(s, s);
         t.sum_all(sq)
@@ -229,12 +230,12 @@ fn gc_reductions_and_structure() {
         let p = t.mul(s, w);
         t.sum_all(p)
     });
-    gradcheck("slice_cols", &[a.clone()], |t, v| {
+    gradcheck("slice_cols", std::slice::from_ref(&a), |t, v| {
         let s = t.slice_cols(v[0], 1, 3);
         let sq = t.mul(s, s);
         t.sum_all(sq)
     });
-    gradcheck("slice_rows", &[a.clone()], |t, v| {
+    gradcheck("slice_rows", std::slice::from_ref(&a), |t, v| {
         let s = t.slice_rows(v[0], 1, 4);
         let sq = t.mul(s, s);
         t.sum_all(sq)
@@ -250,11 +251,11 @@ fn gc_reductions_and_structure() {
 fn gc_losses() {
     let mut r = rng();
     let logits = Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut r);
-    gradcheck("cross_entropy", &[logits.clone()], |t, v| {
+    gradcheck("cross_entropy", std::slice::from_ref(&logits), |t, v| {
         t.cross_entropy(v[0], &[0, 2, 1, 0])
     });
     let teacher = Tensor::rand_uniform(&[4, 3], 0.1, 1.0, &mut r).softmax_rows();
-    gradcheck("distill_kl", &[logits.clone()], |t, v| {
+    gradcheck("distill_kl", std::slice::from_ref(&logits), |t, v| {
         t.distill_kl(v[0], teacher.clone(), 2.0)
     });
     let target = Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut r);

@@ -7,7 +7,7 @@
 //! (Eqs. 15–17, Fig. 10). This module provides the machinery to verify the
 //! claim empirically and to regenerate Fig. 10.
 
-use crate::approx::{gelu_approx, gelu_approx_derivative, softmax_approx_rows};
+use crate::approx::{gelu_approx_derivative, softmax_approx_rows};
 use heatvit_tensor::{scalar, Tensor};
 
 /// One point of the Fig. 10 curve: derivative of original vs. approximated
@@ -107,7 +107,7 @@ pub fn noise_propagation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::approx::DEFAULT_DELTA1;
+    use crate::approx::{gelu_approx, DEFAULT_DELTA1};
 
     #[test]
     fn fig10_regularized_derivative_stays_below_one() {
@@ -150,8 +150,7 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(1);
         let x = Tensor::rand_normal(&[64, 64], 0.0, 1.5, &mut rng);
-        let (in_err, out_err) =
-            noise_propagation(|v| gelu_approx(v, DEFAULT_DELTA1), &x, 0.05, 2);
+        let (in_err, out_err) = noise_propagation(|v| gelu_approx(v, DEFAULT_DELTA1), &x, 0.05, 2);
         assert!(
             out_err < in_err,
             "quantization noise grew: {in_err} -> {out_err}"

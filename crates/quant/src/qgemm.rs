@@ -41,7 +41,10 @@ pub fn qmatmul(a: &QTensor, b: &QTensor) -> Tensor {
         }
     }
     let rescale = a.params().scale * b.params().scale;
-    Tensor::from_vec(acc.into_iter().map(|v| v as f32 * rescale).collect(), &[m, n])
+    Tensor::from_vec(
+        acc.into_iter().map(|v| v as f32 * rescale).collect(),
+        &[m, n],
+    )
 }
 
 /// Quantized linear layer: int8 weight, float bias, dynamic or static

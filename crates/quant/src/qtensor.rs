@@ -41,10 +41,7 @@ impl QuantParams {
 
     /// Parameters calibrated from a tensor's max-abs value.
     pub fn observe(t: &Tensor) -> Self {
-        let abs_max = t
-            .data()
-            .iter()
-            .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        let abs_max = t.data().iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
         Self::from_abs_max(abs_max)
     }
 
@@ -110,7 +107,10 @@ impl QTensor {
     /// Reconstructs the float tensor (with quantization error).
     pub fn dequantize(&self) -> Tensor {
         Tensor::from_vec(
-            self.data.iter().map(|&q| self.params.dequantize(q)).collect(),
+            self.data
+                .iter()
+                .map(|&q| self.params.dequantize(q))
+                .collect(),
             &self.dims,
         )
     }

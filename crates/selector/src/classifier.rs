@@ -212,11 +212,11 @@ impl MultiHeadTokenClassifier {
             }
             let s = self.act.infer(&self.scorer_fc1[h].infer(&e));
             let s = self.scorer_fc2[h].infer(&s).softmax_rows();
-            for r in 0..n {
+            for (r, ws) in weight_sum.iter_mut().enumerate() {
                 let w = head_weights.at(&[r, h]);
                 numerator.set(&[r, 0], numerator.at(&[r, 0]) + w * s.at(&[r, 0]));
                 numerator.set(&[r, 1], numerator.at(&[r, 1]) + w * s.at(&[r, 1]));
-                weight_sum[r] += w;
+                *ws += w;
             }
         }
         Tensor::from_fn(&[n, 2], |ix| {
@@ -344,11 +344,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let c = MultiHeadTokenClassifier::new(384, 6, Activation::Gelu, &mut rng);
         let selector = c.macs(197);
-        let block = heatvit_vit::flops::BlockComplexity::new(
-            &heatvit_vit::ViTConfig::deit_small(),
-            197,
-        )
-        .total();
+        let block =
+            heatvit_vit::flops::BlockComplexity::new(&heatvit_vit::ViTConfig::deit_small(), 197)
+                .total();
         assert!(
             (selector as f64) < 0.05 * block as f64,
             "selector {selector} vs block {block}"

@@ -146,8 +146,7 @@ mod tests {
     fn gumbel_samples_have_right_mean() {
         // Standard Gumbel mean is the Euler–Mascheroni constant ≈ 0.5772.
         let mut rng = StdRng::seed_from_u64(0);
-        let mean: f32 =
-            (0..50_000).map(|_| sample_gumbel(&mut rng)).sum::<f32>() / 50_000.0;
+        let mean: f32 = (0..50_000).map(|_| sample_gumbel(&mut rng)).sum::<f32>() / 50_000.0;
         assert!((mean - 0.5772).abs() < 0.02, "mean {mean}");
     }
 

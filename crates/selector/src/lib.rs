@@ -44,6 +44,7 @@ pub mod gumbel;
 pub mod packager;
 mod pruned;
 mod schedule;
+mod scratch;
 mod selector;
 mod static_prune;
 mod variants;
@@ -51,6 +52,7 @@ mod variants;
 pub use classifier::{ClassifierOutput, MultiHeadTokenClassifier};
 pub use pruned::{PrunedInference, PrunedTrainOutput, PrunedViT};
 pub use schedule::{PruningSchedule, SelectorPlacement};
+pub use scratch::PruneScratch;
 pub use selector::{InferDecision, TokenSelector, TrainDecision};
 pub use static_prune::{StaticInference, StaticPrunedViT, StaticRule, StaticStage};
 pub use variants::ConvTokenClassifier;

@@ -40,7 +40,12 @@ pub fn package_tokens(pruned: &Tensor, keep_scores: &[f32]) -> Option<Tensor> {
     };
     let weighted = pruned.scale_rows(&weights);
     let cols = weighted.dim(1);
-    Some(weighted.mean_cols().scale(pruned.dim(0) as f32).reshape(&[1, cols]))
+    Some(
+        weighted
+            .mean_cols()
+            .scale(pruned.dim(0) as f32)
+            .reshape(&[1, cols]),
+    )
 }
 
 /// Differentiable package token (training path).

@@ -7,6 +7,7 @@
 //! selection flow (Fig. 9).
 
 use crate::packager::{package_tokens, package_tokens_tape};
+use crate::scratch::PruneScratch;
 use crate::selector::{InferDecision, TokenSelector, TrainDecision};
 use heatvit_nn::{Module, Param, Tape, Var};
 use heatvit_tensor::Tensor;
@@ -117,48 +118,82 @@ impl PrunedViT {
 
     /// Inference with dense token repacking.
     pub fn infer(&self, image: &Tensor) -> PrunedInference {
+        self.infer_with(image, &mut PruneScratch::default())
+    }
+
+    /// [`PrunedViT::infer`] reusing a caller-provided scratch workspace.
+    ///
+    /// Bit-identical to the allocating path: the keep-mask partitions, the
+    /// gathered/repacked token matrices, and the backbone activations all
+    /// live in `scratch`, so a warmed-up workspace makes the repacking flow
+    /// allocation-free per image — the software mirror of the accelerator's
+    /// token-selection pipeline writing into fixed on-chip buffers (paper
+    /// Fig. 9).
+    pub fn infer_with(&self, image: &Tensor, scratch: &mut PruneScratch) -> PrunedInference {
         let mut tokens = self.backbone.patch_embed().infer(image);
         // Original patch index of each current row (None = class or package).
-        let mut origin: Vec<Option<usize>> = std::iter::once(None)
-            .chain((0..tokens.dim(0) - 1).map(Some))
-            .collect();
+        scratch.origin.clear();
+        scratch.origin.push(None);
+        scratch.origin.extend((0..tokens.dim(0) - 1).map(Some));
         let mut tokens_per_block = Vec::with_capacity(self.backbone.config().depth);
         let mut fractions = Vec::new();
         let mut surviving = Vec::new();
         for (block, selector) in self.backbone.blocks().iter().zip(self.selectors.iter()) {
             if let Some(sel) = selector {
                 let n = tokens.dim(0);
-                let patches = tokens.slice_rows(1, n);
-                let decision: InferDecision = sel.infer(&patches);
-                let kept = decision.kept_indices();
-                let pruned = decision.pruned_indices();
-                fractions.push(decision.keep_fraction());
-                surviving.push(
-                    kept.iter()
-                        .filter_map(|&i| origin[i + 1])
-                        .collect::<Vec<usize>>(),
-                );
-                let cls = tokens.slice_rows(0, 1);
-                let kept_rows = patches.gather_rows(&kept);
-                let mut parts: Vec<Tensor> = vec![cls, kept_rows];
-                let mut new_origin: Vec<Option<usize>> = std::iter::once(None)
-                    .chain(kept.iter().map(|&i| origin[i + 1]))
-                    .collect();
-                if self.package_enabled {
-                    let pruned_rows = patches.gather_rows(&pruned);
-                    let pruned_scores: Vec<f32> =
-                        pruned.iter().map(|&i| decision.keep_scores[i]).collect();
-                    if let Some(p) = package_tokens(&pruned_rows, &pruned_scores) {
-                        parts.push(p);
-                        new_origin.push(None);
+                tokens.slice_rows_into(1, n, &mut scratch.patches);
+                let decision: InferDecision = sel.infer(&scratch.patches);
+                scratch.kept.clear();
+                scratch.pruned.clear();
+                for (i, &keep) in decision.keep.iter().enumerate() {
+                    if keep {
+                        scratch.kept.push(i);
+                    } else {
+                        scratch.pruned.push(i);
                     }
                 }
-                let refs: Vec<&Tensor> = parts.iter().collect();
-                tokens = Tensor::concat_rows(&refs);
-                origin = new_origin;
+                fractions.push(decision.keep_fraction());
+                surviving.push(
+                    scratch
+                        .kept
+                        .iter()
+                        .filter_map(|&i| scratch.origin[i + 1])
+                        .collect::<Vec<usize>>(),
+                );
+                tokens.slice_rows_into(0, 1, &mut scratch.cls);
+                scratch
+                    .patches
+                    .gather_rows_into(&scratch.kept, &mut scratch.kept_rows);
+                scratch.new_origin.clear();
+                scratch.new_origin.push(None);
+                scratch
+                    .new_origin
+                    .extend(scratch.kept.iter().map(|&i| scratch.origin[i + 1]));
+                let mut parts: Vec<&Tensor> = vec![&scratch.cls, &scratch.kept_rows];
+                let package;
+                if self.package_enabled {
+                    scratch
+                        .patches
+                        .gather_rows_into(&scratch.pruned, &mut scratch.pruned_rows);
+                    scratch.pruned_scores.clear();
+                    scratch
+                        .pruned_scores
+                        .extend(scratch.pruned.iter().map(|&i| decision.keep_scores[i]));
+                    if let Some(p) = package_tokens(&scratch.pruned_rows, &scratch.pruned_scores) {
+                        package = p;
+                        parts.push(&package);
+                        scratch.new_origin.push(None);
+                    }
+                }
+                Tensor::concat_rows_into(&parts, &mut scratch.repacked);
+                drop(parts);
+                // Hand the repacked matrix to `tokens` and recycle the old
+                // token storage as the next stage's repack buffer.
+                std::mem::swap(&mut tokens, &mut scratch.repacked);
+                std::mem::swap(&mut scratch.origin, &mut scratch.new_origin);
             }
             tokens_per_block.push(tokens.dim(0));
-            let (out, _) = block.infer(&tokens, None);
+            let (out, _) = block.infer_with(&tokens, None, &mut scratch.vit);
             tokens = out;
         }
         PrunedInference {
@@ -167,6 +202,17 @@ impl PrunedViT {
             selector_keep_fractions: fractions,
             surviving_patches: surviving,
         }
+    }
+
+    /// Runs a batch of images through one shared scratch workspace.
+    /// Equivalent to mapping [`PrunedViT::infer`] over `images`, with warm
+    /// buffers after the first image.
+    pub fn infer_batch(&self, images: &[Tensor]) -> Vec<PrunedInference> {
+        let mut scratch = PruneScratch::default();
+        images
+            .iter()
+            .map(|image| self.infer_with(image, &mut scratch))
+            .collect()
     }
 
     /// Differentiable forward with Gumbel-sampled hard pruning.

@@ -1,0 +1,45 @@
+//! Reusable buffers for the pruned inference paths.
+//!
+//! Both the adaptive ([`crate::PrunedViT`]) and static
+//! ([`crate::StaticPrunedViT`]) models repeat the same repacking dance per
+//! selector stage: slice off the class token, score the patch tokens, gather
+//! the survivors into a smaller dense matrix, and concatenate the parts back
+//! together. [`PruneScratch`] owns every buffer that dance needs — tensors
+//! for the sliced/gathered/repacked matrices, index vectors for the
+//! keep/prune partitions, and the backbone's [`InferScratch`] — so a batched
+//! engine allocates them once per batch instead of once per image.
+
+use heatvit_tensor::Tensor;
+use heatvit_vit::InferScratch;
+
+/// Workspace for dense token repacking plus backbone inference.
+///
+/// Cheap to construct; the single-image convenience paths build a fresh one,
+/// which makes the scratch and non-scratch paths execute identical
+/// arithmetic (bit-identical results).
+#[derive(Debug, Clone, Default)]
+pub struct PruneScratch {
+    /// Backbone (per-block) activation buffers.
+    pub vit: InferScratch,
+    /// Patch-token rows (class token excluded) `[N-1, D]`.
+    pub(crate) patches: Tensor,
+    /// The class-token row `[1, D]`.
+    pub(crate) cls: Tensor,
+    /// Gathered informative rows `[K, D]`.
+    pub(crate) kept_rows: Tensor,
+    /// Gathered pruned rows `[N-1-K, D]` (package input).
+    pub(crate) pruned_rows: Tensor,
+    /// The repacked token matrix handed to the next block.
+    pub(crate) repacked: Tensor,
+    /// Indices of kept patch tokens (also reused as a sort buffer).
+    pub(crate) kept: Vec<usize>,
+    /// Indices of pruned patch tokens / ranking order buffer.
+    pub(crate) pruned: Vec<usize>,
+    /// Keep scores of the pruned tokens (packager weights).
+    pub(crate) pruned_scores: Vec<f32>,
+    /// Original patch-grid index of each current row (`None` = class or
+    /// package token).
+    pub(crate) origin: Vec<Option<usize>>,
+    /// Staging buffer for the post-repack `origin` mapping.
+    pub(crate) new_origin: Vec<Option<usize>>,
+}

@@ -116,7 +116,12 @@ impl TokenSelector {
 
     /// Differentiable decision over patch tokens `[N, D]` (class token
     /// excluded by the caller).
-    pub fn forward_train(&self, tape: &mut Tape, patch_tokens: Var, rng: &mut impl Rng) -> TrainDecision {
+    pub fn forward_train(
+        &self,
+        tape: &mut Tape,
+        patch_tokens: Var,
+        rng: &mut impl Rng,
+    ) -> TrainDecision {
         let n = tape.dims(patch_tokens)[0];
         let out = self.classifier.forward(tape, patch_tokens);
         let keep_col = tape.slice_cols(out.scores, 0, 1);

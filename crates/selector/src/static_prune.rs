@@ -12,6 +12,7 @@
 //! adaptive model, so Fig. 2/Fig. 4 comparisons isolate exactly the decision
 //! policy.
 
+use crate::scratch::PruneScratch;
 use heatvit_tensor::Tensor;
 use heatvit_vit::VisionTransformer;
 use rand::rngs::StdRng;
@@ -118,6 +119,13 @@ impl StaticPrunedViT {
 
     /// Inference with static pruning and dense repacking.
     pub fn infer(&self, image: &Tensor) -> StaticInference {
+        self.infer_with(image, &mut PruneScratch::default())
+    }
+
+    /// [`StaticPrunedViT::infer`] reusing a caller-provided scratch
+    /// workspace (bit-identical results; see
+    /// [`PruneScratch`](crate::PruneScratch)).
+    pub fn infer_with(&self, image: &Tensor, scratch: &mut PruneScratch) -> StaticInference {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut tokens = self.backbone.patch_embed().infer(image);
         let mut tokens_per_block = Vec::with_capacity(self.backbone.config().depth);
@@ -129,23 +137,34 @@ impl StaticPrunedViT {
             if let Some(stage) = stage_iter.peek() {
                 if stage.block == bi {
                     let n_patches = tokens.dim(0) - 1;
-                    let k = ((stage.keep_ratio * n_patches as f32).ceil() as usize)
-                        .clamp(1, n_patches);
-                    let patches = tokens.slice_rows(1, tokens.dim(0));
-                    let scores =
-                        self.scores(&patches, cls_attention.as_deref(), &mut rng);
-                    let mut order: Vec<usize> = (0..n_patches).collect();
-                    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
-                    let mut kept: Vec<usize> = order[..k].to_vec();
-                    kept.sort_unstable();
-                    let cls = tokens.slice_rows(0, 1);
-                    let kept_rows = patches.gather_rows(&kept);
-                    tokens = Tensor::concat_rows(&[&cls, &kept_rows]);
+                    let k =
+                        ((stage.keep_ratio * n_patches as f32).ceil() as usize).clamp(1, n_patches);
+                    tokens.slice_rows_into(1, tokens.dim(0), &mut scratch.patches);
+                    let scores = self.scores(&scratch.patches, cls_attention.as_deref(), &mut rng);
+                    // `pruned` doubles as the ranking-order buffer; `kept`
+                    // receives the top-k, restored to block order.
+                    scratch.pruned.clear();
+                    scratch.pruned.extend(0..n_patches);
+                    scratch
+                        .pruned
+                        .sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+                    scratch.kept.clear();
+                    scratch.kept.extend_from_slice(&scratch.pruned[..k]);
+                    scratch.kept.sort_unstable();
+                    tokens.slice_rows_into(0, 1, &mut scratch.cls);
+                    scratch
+                        .patches
+                        .gather_rows_into(&scratch.kept, &mut scratch.kept_rows);
+                    Tensor::concat_rows_into(
+                        &[&scratch.cls, &scratch.kept_rows],
+                        &mut scratch.repacked,
+                    );
+                    std::mem::swap(&mut tokens, &mut scratch.repacked);
                     stage_iter.next();
                 }
             }
             tokens_per_block.push(tokens.dim(0));
-            let (out, maps) = block.infer(&tokens, None);
+            let (out, maps) = block.infer_with(&tokens, None, &mut scratch.vit);
             // CLS attention to each patch token, averaged over heads.
             let n = tokens.dim(0);
             let mut attn = vec![0.0f32; n - 1];
@@ -166,9 +185,31 @@ impl StaticPrunedViT {
         }
     }
 
+    /// Runs a batch of images through one shared scratch workspace.
+    /// Equivalent to mapping [`StaticPrunedViT::infer`] over `images`.
+    pub fn infer_batch(&self, images: &[Tensor]) -> Vec<StaticInference> {
+        let mut scratch = PruneScratch::default();
+        images
+            .iter()
+            .map(|image| self.infer_with(image, &mut scratch))
+            .collect()
+    }
+
     /// Predicted class for one image.
     pub fn predict(&self, image: &Tensor) -> usize {
         self.infer(image).logits.argmax_rows()[0]
+    }
+
+    /// Multiply–accumulate count of one inference using the actual
+    /// per-block token counts from `inference` (the static analogue of
+    /// [`crate::PrunedViT::macs`]; ranking overhead is not charged since the
+    /// rules reuse attention maps or norms the blocks already produce).
+    pub fn macs(&self, inference: &StaticInference) -> u64 {
+        let mut total = self.backbone.patch_embed().macs();
+        for (i, block) in self.backbone.blocks().iter().enumerate() {
+            total += block.macs(inference.tokens_per_block[i]);
+        }
+        total + self.backbone.config().embed_dim as u64 * self.backbone.config().num_classes as u64
     }
 }
 
@@ -257,7 +298,10 @@ mod tests {
         }];
         let m1 = StaticPrunedViT::new(b1, stage.clone(), StaticRule::Random, 7);
         let m2 = StaticPrunedViT::new(b2, stage, StaticRule::Random, 7);
-        assert!(m1.infer(&image).logits.allclose(&m2.infer(&image).logits, 0.0));
+        assert!(m1
+            .infer(&image)
+            .logits
+            .allclose(&m2.infer(&image).logits, 0.0));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the `bench_function` / `Bencher::iter` / `criterion_group!` /
+//! `criterion_main!` surface so the workspace benches compile and run without
+//! registry access. Measurement is intentionally simple: a warm-up phase,
+//! then `SAMPLES` timed batches whose median per-iteration time is reported.
+//! There is no statistical analysis, plotting, or baseline storage.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples collected per benchmark.
+pub const SAMPLES: usize = 15;
+
+/// Target wall-clock time for the whole sampling phase of one benchmark.
+const TARGET_SAMPLING: Duration = Duration::from_millis(600);
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `routine` as a named benchmark and prints its median time.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            median: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let per_iter = bencher.median;
+        println!("{name:<44} {:>14}/iter", format_duration(per_iter));
+        self
+    }
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    median: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`: warm-up to estimate cost, then [`SAMPLES`] timed batches;
+    /// records the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and cost estimation: run until ~50ms elapsed.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters_per_sample =
+            ((TARGET_SAMPLING.as_secs_f64() / SAMPLES as f64 / est_per_iter).ceil() as u64).max(1);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_nonzero_median() {
+        let mut c = Criterion::default();
+        c.bench_function("noop-ish", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(1500)).ends_with("ms"));
+    }
+}

@@ -63,7 +63,10 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for dimension of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of length {len}"
+                )
             }
         }
     }

@@ -31,18 +31,9 @@ impl Tensor {
     /// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
     /// ```
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
-        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2");
-        let (m, k) = (self.dim(0), self.dim(1));
-        let (k2, n) = (rhs.dim(0), rhs.dim(1));
-        assert_eq!(
-            k, k2,
-            "matmul inner dimensions must agree ({} vs {})",
-            k, k2
-        );
-        let mut out = vec![0.0f32; m * n];
-        gemm(self.data(), rhs.data(), &mut out, m, k, n);
-        Tensor::from_vec(out, &[m, n])
+        let mut out = Tensor::default();
+        self.matmul_into(rhs, &mut out);
+        out
     }
 
     /// Matrix product `self · rhsᵀ` for rank-2 tensors.
@@ -54,31 +45,84 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank 2 or the last dimensions differ.
     pub fn matmul_transb(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_transb_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided output tensor.
+    ///
+    /// `out` is reshaped (reusing its allocation) and overwritten; the values
+    /// are bit-identical to `self.matmul(rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::matmul`].
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul inner dimensions must agree ({k} vs {k2})");
+        out.reset_zeroed(&[m, n]);
+        gemm(self.data(), rhs.data(), out.data_mut(), m, k, n);
+    }
+
+    /// [`Tensor::matmul_transb`] writing into a caller-provided output
+    /// tensor (see [`Tensor::matmul_into`] for the reuse contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::matmul_transb`].
+    pub fn matmul_transb_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul_transb lhs must be rank 2");
         assert_eq!(rhs.rank(), 2, "matmul_transb rhs must be rank 2");
         let (m, k) = (self.dim(0), self.dim(1));
         let (n, k2) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(
             k, k2,
-            "matmul_transb inner dimensions must agree ({} vs {})",
-            k, k2
+            "matmul_transb inner dimensions must agree ({k} vs {k2})"
         );
-        let mut out = vec![0.0f32; m * n];
+        // Every element is written below, so no zeroing pass is needed.
+        out.reset_unspecified(&[m, n]);
         let a = self.data();
         let b = rhs.data();
+        let o = out.data_mut();
         for i in 0..m {
             let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
+            let orow = &mut o[i * n..(i + 1) * n];
+            for (j, ov) in orow.iter_mut().enumerate() {
                 let brow = &b[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
                 for (x, y) in arow.iter().zip(brow.iter()) {
                     acc += x * y;
                 }
-                *o = acc;
+                *ov = acc;
             }
         }
-        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`Tensor::matmul_bias`] writing into a caller-provided output tensor
+    /// (see [`Tensor::matmul_into`] for the reuse contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::matmul_bias`].
+    pub fn matmul_bias_into(&self, rhs: &Tensor, bias: &Tensor, out: &mut Tensor) {
+        assert_eq!(bias.rank(), 1, "bias must be rank 1");
+        assert_eq!(
+            bias.dim(0),
+            rhs.dim(1),
+            "bias length must equal output columns"
+        );
+        self.matmul_into(rhs, out);
+        let n = out.dim(1);
+        let b = bias.data();
+        for row in out.data_mut().chunks_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(b.iter()) {
+                *o += bv;
+            }
+        }
     }
 
     /// Fused `self · rhs + bias` where `bias` is broadcast over rows.
@@ -88,20 +132,8 @@ impl Tensor {
     /// Panics on rank/shape mismatch, or if `bias` is not a rank-1 tensor of
     /// length `rhs.dim(1)`.
     pub fn matmul_bias(&self, rhs: &Tensor, bias: &Tensor) -> Tensor {
-        assert_eq!(bias.rank(), 1, "bias must be rank 1");
-        assert_eq!(
-            bias.dim(0),
-            rhs.dim(1),
-            "bias length must equal output columns"
-        );
-        let mut out = self.matmul(rhs);
-        let n = out.dim(1);
-        let b = bias.data();
-        for row in out.data_mut().chunks_mut(n) {
-            for (o, &bv) in row.iter_mut().zip(b.iter()) {
-                *o += bv;
-            }
-        }
+        let mut out = Tensor::default();
+        self.matmul_bias_into(rhs, bias, &mut out);
         out
     }
 
@@ -246,6 +278,26 @@ mod tests {
     #[should_panic(expected = "inner dimensions")]
     fn mismatched_inner_dims_panic() {
         Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn into_variants_are_bitwise_identical_and_reuse_storage() {
+        let a = Tensor::from_fn(&[4, 7], |ix| (ix[0] * 7 + ix[1]) as f32 * 0.1);
+        let b = Tensor::from_fn(&[7, 3], |ix| (ix[0] as f32 - ix[1] as f32) * 0.2);
+        let bt = b.transpose2();
+        let bias = Tensor::from_vec(vec![0.5, -0.5, 1.0], &[3]);
+
+        // Start from a deliberately larger stale buffer: it must be
+        // reshaped, fully overwritten, and reused.
+        let mut out = Tensor::full(&[9, 9], f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), a.matmul(&b).data());
+
+        a.matmul_transb_into(&bt, &mut out);
+        assert_eq!(out.data(), a.matmul_transb(&bt).data());
+
+        a.matmul_bias_into(&b, &bias, &mut out);
+        assert_eq!(out.data(), a.matmul_bias(&b, &bias).data());
     }
 
     #[test]

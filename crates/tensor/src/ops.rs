@@ -102,17 +102,9 @@ impl Tensor {
     /// Panics if `parts` is empty, any part is not rank 2, or column counts
     /// differ.
     pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "concat_rows requires at least one part");
-        let cols = parts[0].dim(1);
-        let mut data = Vec::new();
-        let mut rows = 0;
-        for p in parts {
-            assert_eq!(p.rank(), 2, "concat_rows parts must be rank 2");
-            assert_eq!(p.dim(1), cols, "concat_rows parts must share columns");
-            data.extend_from_slice(p.data());
-            rows += p.dim(0);
-        }
-        Tensor::from_vec(data, &[rows, cols])
+        let mut out = Tensor::default();
+        Self::concat_rows_into(parts, &mut out);
+        out
     }
 
     /// Concatenates rank-2 tensors along columns (axis 1).
@@ -122,23 +114,9 @@ impl Tensor {
     /// Panics if `parts` is empty, any part is not rank 2, or row counts
     /// differ.
     pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "concat_cols requires at least one part");
-        let rows = parts[0].dim(0);
-        let total_cols: usize = parts
-            .iter()
-            .map(|p| {
-                assert_eq!(p.rank(), 2, "concat_cols parts must be rank 2");
-                assert_eq!(p.dim(0), rows, "concat_cols parts must share rows");
-                p.dim(1)
-            })
-            .sum();
-        let mut data = Vec::with_capacity(rows * total_cols);
-        for r in 0..rows {
-            for p in parts {
-                data.extend_from_slice(p.row(r));
-            }
-        }
-        Tensor::from_vec(data, &[rows, total_cols])
+        let mut out = Tensor::default();
+        Self::concat_cols_into(parts, &mut out);
+        out
     }
 
     /// Copies rows `[start, end)` of a rank-2 tensor.
@@ -147,13 +125,27 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2 or the range is out of bounds.
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        let mut out = Tensor::default();
+        self.slice_rows_into(start, end, &mut out);
+        out
+    }
+
+    /// [`Tensor::slice_rows`] writing into a caller-provided output tensor
+    /// (see [`Tensor::gather_rows_into`] for the reuse contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::slice_rows`].
+    pub fn slice_rows_into(&self, start: usize, end: usize, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "slice_rows requires rank 2");
-        assert!(start <= end && end <= self.dim(0), "row range out of bounds");
+        assert!(
+            start <= end && end <= self.dim(0),
+            "row range out of bounds"
+        );
         let cols = self.dim(1);
-        Tensor::from_vec(
-            self.data()[start * cols..end * cols].to_vec(),
-            &[end - start, cols],
-        )
+        out.reset_unspecified(&[end - start, cols]);
+        out.data_mut()
+            .copy_from_slice(&self.data()[start * cols..end * cols]);
     }
 
     /// Copies columns `[start, end)` of a rank-2 tensor.
@@ -184,14 +176,79 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2 or any index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::default();
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Tensor::gather_rows`] writing into a caller-provided output tensor.
+    ///
+    /// `out` is reshaped (reusing its allocation) and overwritten — the
+    /// allocation-free form of the dense-repacking primitive used by the
+    /// batched engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::gather_rows`].
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "gather_rows requires rank 2");
         let cols = self.dim(1);
-        let mut data = Vec::with_capacity(indices.len() * cols);
-        for &i in indices {
+        out.reset_unspecified(&[indices.len(), cols]);
+        for (r, &i) in indices.iter().enumerate() {
             assert!(i < self.dim(0), "gather index {i} out of bounds");
-            data.extend_from_slice(self.row(i));
+            out.data_mut()[r * cols..(r + 1) * cols].copy_from_slice(self.row(i));
         }
-        Tensor::from_vec(data, &[indices.len(), cols])
+    }
+
+    /// [`Tensor::concat_rows`] writing into a caller-provided output tensor
+    /// (see [`Tensor::gather_rows_into`] for the reuse contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::concat_rows`].
+    pub fn concat_rows_into(parts: &[&Tensor], out: &mut Tensor) {
+        assert!(!parts.is_empty(), "concat_rows requires at least one part");
+        let cols = parts[0].dim(1);
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.rank(), 2, "concat_rows parts must be rank 2");
+            assert_eq!(p.dim(1), cols, "concat_rows parts must share columns");
+            rows += p.dim(0);
+        }
+        out.reset_unspecified(&[rows, cols]);
+        let mut offset = 0;
+        for p in parts {
+            out.data_mut()[offset..offset + p.numel()].copy_from_slice(p.data());
+            offset += p.numel();
+        }
+    }
+
+    /// [`Tensor::concat_cols`] writing into a caller-provided output tensor
+    /// (see [`Tensor::gather_rows_into`] for the reuse contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::concat_cols`].
+    pub fn concat_cols_into(parts: &[&Tensor], out: &mut Tensor) {
+        assert!(!parts.is_empty(), "concat_cols requires at least one part");
+        let rows = parts[0].dim(0);
+        let total_cols: usize = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(p.rank(), 2, "concat_cols parts must be rank 2");
+                assert_eq!(p.dim(0), rows, "concat_cols parts must share rows");
+                p.dim(1)
+            })
+            .sum();
+        out.reset_unspecified(&[rows, total_cols]);
+        for r in 0..rows {
+            let mut offset = r * total_cols;
+            for p in parts {
+                let w = p.dim(1);
+                out.data_mut()[offset..offset + w].copy_from_slice(p.row(r));
+                offset += w;
+            }
+        }
     }
 
     /// Scatters `src` rows back into a zero tensor of `rows` rows at
@@ -341,6 +398,24 @@ mod tests {
     #[should_panic(expected = "share columns")]
     fn concat_rows_checks_columns() {
         Tensor::concat_rows(&[&Tensor::zeros(&[1, 2]), &Tensor::zeros(&[1, 3])]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_structural_ops() {
+        let x = Tensor::from_fn(&[5, 3], |ix| (ix[0] * 3 + ix[1]) as f32);
+        let y = Tensor::from_fn(&[5, 2], |ix| -(ix[1] as f32));
+        let mut out = Tensor::full(&[2, 2], f32::NAN);
+
+        x.gather_rows_into(&[4, 0, 2], &mut out);
+        assert_eq!(out.data(), x.gather_rows(&[4, 0, 2]).data());
+        assert_eq!(out.dims(), &[3, 3]);
+
+        Tensor::concat_rows_into(&[&x, &x], &mut out);
+        assert_eq!(out.data(), Tensor::concat_rows(&[&x, &x]).data());
+
+        Tensor::concat_cols_into(&[&x, &y], &mut out);
+        assert_eq!(out.data(), Tensor::concat_cols(&[&x, &y]).data());
+        assert_eq!(out.dims(), &[5, 5]);
     }
 
     #[test]

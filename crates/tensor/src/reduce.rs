@@ -23,7 +23,10 @@ impl Tensor {
     ///
     /// Returns `f32::NEG_INFINITY` for an empty tensor.
     pub fn max_all(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -40,9 +43,7 @@ impl Tensor {
     /// Panics if the tensor is not rank 2.
     pub fn sum_rows(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "sum_rows requires rank 2");
-        let data = (0..self.dim(0))
-            .map(|r| self.row(r).iter().sum())
-            .collect();
+        let data = (0..self.dim(0)).map(|r| self.row(r).iter().sum()).collect();
         Tensor::from_vec(data, &[self.dim(0)])
     }
 

@@ -20,11 +20,11 @@
 /// assert!((erf(-1.0) + erf(1.0)).abs() < 1e-6); // odd function
 /// ```
 pub fn erf(x: f32) -> f32 {
-    const A1: f32 = 0.254829592;
-    const A2: f32 = -0.284496736;
-    const A3: f32 = 1.421413741;
-    const A4: f32 = -1.453152027;
-    const A5: f32 = 1.061405429;
+    const A1: f32 = 0.254_829_6;
+    const A2: f32 = -0.284_496_72;
+    const A3: f32 = 1.421_413_8;
+    const A4: f32 = -1.453_152_1;
+    const A5: f32 = 1.061_405_4;
     const P: f32 = 0.3275911;
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
     let x = x.abs();
@@ -125,10 +125,10 @@ mod tests {
         assert_eq!(gelu(0.0), 0.0);
         assert!((gelu(10.0) - 10.0).abs() < 1e-4); // identity for large x
         assert!(gelu(-10.0).abs() < 1e-4); // zero for very negative x
-        // GELU(x) + GELU(-x) == x (since Φ(x)+Φ(−x)=1)
+                                           // GELU(x) − GELU(−x) == x (since Φ(x)+Φ(−x)=1)
         for i in -20..=20 {
             let x = i as f32 * 0.2;
-            assert!((gelu(x) + gelu(-x) - x).abs() < 1e-5);
+            assert!((gelu(x) - gelu(-x) - x).abs() < 1e-5);
         }
     }
 

@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn offset_roundtrip() {
         let s = Shape::new(&[3, 4]);
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for i in 0..3 {
             for j in 0..4 {
                 let off = s.offset(&[i, j]);

@@ -227,7 +227,7 @@ impl Tensor {
     }
 
     /// Applies `f` elementwise, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Self {
         Self {
             shape: self.shape.clone(),
             data: self.data.iter().map(|&x| f(x)).collect(),
@@ -235,7 +235,7 @@ impl Tensor {
     }
 
     /// Applies `f` elementwise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
         for x in &mut self.data {
             *x = f(*x);
         }
@@ -266,6 +266,37 @@ impl Tensor {
     /// Fills the tensor with `value`.
     pub fn fill(&mut self, value: f32) {
         self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Reshapes the tensor in place to `dims` and zeroes every element,
+    /// reusing the existing allocation when it is large enough.
+    ///
+    /// This is the scratch-buffer primitive behind the batched inference
+    /// path: output tensors owned by a reusable workspace are `reset_zeroed`
+    /// instead of freshly allocated, so steady-state batches perform no
+    /// per-image heap allocation for activations.
+    pub fn reset_zeroed(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        self.shape = shape;
+    }
+
+    /// Reshapes the tensor in place to `dims` **without** clearing the
+    /// storage: element values are unspecified (stale or zero) and every one
+    /// must be overwritten by the caller.
+    ///
+    /// The cheaper sibling of [`Tensor::reset_zeroed`] for operations that
+    /// fully overwrite their output (copies, gathers, concatenations),
+    /// avoiding a redundant zeroing pass over the scratch buffers on the
+    /// batched engine's hot path. Accumulating kernels (GEMM) must use
+    /// [`Tensor::reset_zeroed`] instead.
+    pub fn reset_unspecified(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        self.data.resize(n, 0.0);
+        self.shape = shape;
     }
 
     /// `true` if any element is NaN or infinite.
@@ -390,6 +421,18 @@ mod tests {
         assert!(!t.has_non_finite());
         t.set(&[0], f32::NAN);
         assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn reset_zeroed_reshapes_and_clears() {
+        let mut t = Tensor::full(&[4, 4], 7.0);
+        t.reset_zeroed(&[2, 3]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        // Growing past the previous size must also be fully zeroed.
+        t.reset_zeroed(&[5, 5]);
+        assert_eq!(t.numel(), 25);
+        assert!(t.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,1 +1,11 @@
-//! placeholder (implementation in progress)
+//! # heatvit-train
+//!
+//! Training loops for the HeatViT reproduction: DeiT-style distillation and
+//! the latency-aware sparsity loss (paper Eq. 20) over `PrunedViT`.
+//!
+//! Placeholder: the autograd substrate (`heatvit-nn`), the selector's
+//! differentiable path (`PrunedViT::forward_train`), and the batched engine
+//! (`heatvit::Engine`) are in place; the epoch loop, loss schedule, and
+//! checkpointing land in a follow-up PR (see `ROADMAP.md` → Open items).
+
+#![warn(missing_docs)]

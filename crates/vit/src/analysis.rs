@@ -101,10 +101,7 @@ pub fn cls_attention_over_patches(map: &Tensor) -> Vec<f32> {
 
 /// Shannon entropy (nats) of a probability vector.
 pub fn entropy(p: &[f32]) -> f32 {
-    p.iter()
-        .filter(|&&v| v > 0.0)
-        .map(|&v| -v * v.ln())
-        .sum()
+    p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum()
 }
 
 /// Jensen–Shannon divergence between two probability vectors (nats).
@@ -121,7 +118,11 @@ pub fn js_divergence(p: &[f32], q: &[f32]) -> f32 {
             .map(|(&x, &y)| x * (x / y.max(1e-12)).ln())
             .sum()
     };
-    let m: Vec<f32> = p.iter().zip(q.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    let m: Vec<f32> = p
+        .iter()
+        .zip(q.iter())
+        .map(|(&a, &b)| 0.5 * (a + b))
+        .collect();
     0.5 * kl(p, &m) + 0.5 * kl(q, &m)
 }
 
@@ -155,7 +156,11 @@ pub fn head_divergence(maps: &[Tensor]) -> HeadDivergence {
         }
     }
     HeadDivergence {
-        mean_pairwise_js: if pairs == 0 { 0.0 } else { total / pairs as f32 },
+        mean_pairwise_js: if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f32
+        },
         head_entropies: dists.iter().map(|d| entropy(d)).collect(),
         head_argmax: dists
             .iter()
@@ -207,10 +212,7 @@ mod tests {
 
     #[test]
     fn cls_attention_is_normalized() {
-        let map = Tensor::from_vec(
-            vec![0.2, 0.5, 0.3, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4],
-            &[3, 3],
-        );
+        let map = Tensor::from_vec(vec![0.2, 0.5, 0.3, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4], &[3, 3]);
         let d = cls_attention_over_patches(&map);
         assert_eq!(d.len(), 2);
         assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-6);
@@ -237,15 +239,8 @@ mod tests {
     #[test]
     fn head_divergence_flags_distinct_heads() {
         // Two heads attending to disjoint patches → high divergence.
-        let focused = |idx: usize| {
-            Tensor::from_fn(&[4, 4], |ix| {
-                if ix[1] == idx {
-                    0.97
-                } else {
-                    0.01
-                }
-            })
-        };
+        let focused =
+            |idx: usize| Tensor::from_fn(&[4, 4], |ix| if ix[1] == idx { 0.97 } else { 0.01 });
         let distinct = head_divergence(&[focused(1), focused(3)]);
         let same = head_divergence(&[focused(2), focused(2)]);
         assert!(distinct.mean_pairwise_js > 10.0 * same.mean_pairwise_js.max(1e-9));

@@ -1,5 +1,6 @@
 //! Multi-head self-attention (MSA).
 
+use crate::scratch::AttnScratch;
 use heatvit_nn::{layers::Linear, Module, Param, Tape, Var};
 use heatvit_tensor::Tensor;
 use rand::Rng;
@@ -167,22 +168,41 @@ impl MultiHeadAttention {
     ///
     /// Panics if `x` is not `[N, dim]` or the mask length is not `N`.
     pub fn infer(&self, x: &Tensor, key_mask: Option<&[f32]>) -> (Tensor, AttentionMaps) {
+        self.infer_with(x, key_mask, &mut AttnScratch::default())
+    }
+
+    /// [`MultiHeadAttention::infer`] reusing a caller-provided scratch
+    /// workspace for the Q/K/V projections and the head concatenation.
+    ///
+    /// Bit-identical to the allocating path; the batched engine holds one
+    /// [`AttnScratch`] (inside [`crate::InferScratch`]) for a whole batch so
+    /// the four largest per-call tensors are allocated once, not per image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, dim]` or the mask length is not `N`.
+    pub fn infer_with(
+        &self,
+        x: &Tensor,
+        key_mask: Option<&[f32]>,
+        scratch: &mut AttnScratch,
+    ) -> (Tensor, AttentionMaps) {
         let n = x.dim(0);
         if let Some(m) = key_mask {
             assert_eq!(m.len(), n, "mask length must equal token count");
         }
-        let q = self.wq.infer(x);
-        let k = self.wk.infer(x);
-        let v = self.wv.infer(x);
+        self.wq.infer_into(x, &mut scratch.q);
+        self.wk.infer_into(x, &mut scratch.k);
+        self.wv.infer_into(x, &mut scratch.v);
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let mask = key_mask.map(Self::additive_mask);
         let mut outs = Vec::with_capacity(self.num_heads);
         let mut maps = Vec::with_capacity(self.num_heads);
         for h in 0..self.num_heads {
             let (lo, hi) = (h * self.head_dim, (h + 1) * self.head_dim);
-            let qh = q.slice_cols(lo, hi);
-            let kh = k.slice_cols(lo, hi);
-            let vh = v.slice_cols(lo, hi);
+            let qh = scratch.q.slice_cols(lo, hi);
+            let kh = scratch.k.slice_cols(lo, hi);
+            let vh = scratch.v.slice_cols(lo, hi);
             let mut scores = qh.matmul_transb(&kh).scale(scale);
             if let Some(m) = &mask {
                 scores = scores.add(m);
@@ -192,8 +212,8 @@ impl MultiHeadAttention {
             maps.push(attn);
         }
         let refs: Vec<&Tensor> = outs.iter().collect();
-        let concat = Tensor::concat_cols(&refs);
-        (self.proj.infer(&concat), maps)
+        Tensor::concat_cols_into(&refs, &mut scratch.heads);
+        (self.proj.infer(&scratch.heads), maps)
     }
 
     /// Multiply–accumulate count for `n` tokens, split per paper Table II:

@@ -1,6 +1,7 @@
 //! The transformer encoder block (MSA + FFN with pre-norm residuals).
 
 use crate::attention::{AttentionMaps, MultiHeadAttention};
+use crate::scratch::InferScratch;
 use crate::ViTConfig;
 use heatvit_nn::layers::{Activation, LayerNorm, Mlp};
 use heatvit_nn::{Module, Param, Tape, Var};
@@ -76,9 +77,33 @@ impl EncoderBlock {
 
     /// Inference forward (no tape); always returns the attention maps.
     pub fn infer(&self, x: &Tensor, key_mask: Option<&[f32]>) -> (Tensor, AttentionMaps) {
-        let (attn_out, maps) = self.attn.infer(&self.ln1.infer(x), key_mask);
+        self.infer_with(x, key_mask, &mut InferScratch::default())
+    }
+
+    /// [`EncoderBlock::infer`] reusing a caller-provided scratch workspace
+    /// for the layer-norm, attention, and FFN intermediates.
+    ///
+    /// Bit-identical to the allocating path. One [`InferScratch`] serves all
+    /// blocks of a model and all images of a batch: the buffers reshape in
+    /// place as the token count shrinks under pruning.
+    pub fn infer_with(
+        &self,
+        x: &Tensor,
+        key_mask: Option<&[f32]>,
+        scratch: &mut InferScratch,
+    ) -> (Tensor, AttentionMaps) {
+        self.ln1.infer_into(x, &mut scratch.normed);
+        let (attn_out, maps) = self
+            .attn
+            .infer_with(&scratch.normed, key_mask, &mut scratch.attn);
         let x = attn_out.add(x);
-        let y = self.ffn.infer(&self.ln2.infer(&x)).add(&x);
+        self.ln2.infer_into(&x, &mut scratch.normed);
+        self.ffn.infer_into(
+            &scratch.normed,
+            &mut scratch.ffn_hidden,
+            &mut scratch.ffn_out,
+        );
+        let y = scratch.ffn_out.add(&x);
         (y, maps)
     }
 

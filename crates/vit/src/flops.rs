@@ -135,8 +135,7 @@ impl ModelComplexity {
         Self {
             config: config.clone(),
             blocks,
-            patch_embed_macs: (config.num_patches() * config.patch_dim() * config.embed_dim)
-                as u64,
+            patch_embed_macs: (config.num_patches() * config.patch_dim() * config.embed_dim) as u64,
             head_macs: (config.embed_dim * config.num_classes) as u64,
         }
     }
@@ -235,7 +234,10 @@ mod tests {
         let cfg = ViTConfig::deit_small();
         let b1 = BlockComplexity::new(&cfg, 100);
         let b2 = BlockComplexity::new(&cfg, 200);
-        assert_eq!(b2.layer(BlockLayer::QueryKey), 4 * b1.layer(BlockLayer::QueryKey));
+        assert_eq!(
+            b2.layer(BlockLayer::QueryKey),
+            4 * b1.layer(BlockLayer::QueryKey)
+        );
         assert_eq!(
             b2.layer(BlockLayer::FfnExpand),
             2 * b1.layer(BlockLayer::FfnExpand)
@@ -258,10 +260,8 @@ mod tests {
         // Table VI: DeiT-S at stage keep ratios 0.70/0.39/0.21 (stages begin
         // at blocks 3/6/9) is reported as 2.64 GMACs.
         let cfg = ViTConfig::deit_small();
-        let pruned = ModelComplexity::with_stage_keep_ratios(
-            &cfg,
-            &[(3, 0.70), (6, 0.39), (9, 0.21)],
-        );
+        let pruned =
+            ModelComplexity::with_stage_keep_ratios(&cfg, &[(3, 0.70), (6, 0.39), (9, 0.21)]);
         let g = pruned.gmacs();
         assert!(
             (g - 2.64).abs() / 2.64 < 0.08,

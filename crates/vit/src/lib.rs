@@ -38,6 +38,7 @@ mod config;
 pub mod flops;
 mod model;
 mod patch_embed;
+mod scratch;
 pub mod weights;
 
 pub use attention::{AttentionMaps, MultiHeadAttention};
@@ -45,3 +46,4 @@ pub use block::EncoderBlock;
 pub use config::ViTConfig;
 pub use model::{InferenceTrace, VisionTransformer};
 pub use patch_embed::{image_to_patches, PatchEmbed};
+pub use scratch::{AttnScratch, InferScratch};

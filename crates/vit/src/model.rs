@@ -3,6 +3,7 @@
 use crate::attention::AttentionMaps;
 use crate::block::EncoderBlock;
 use crate::patch_embed::PatchEmbed;
+use crate::scratch::InferScratch;
 use crate::ViTConfig;
 use heatvit_nn::layers::{LayerNorm, Linear};
 use heatvit_nn::{Module, Param, Tape, Var};
@@ -117,12 +118,30 @@ impl VisionTransformer {
 
     /// Inference: image → logits `[1, classes]`.
     pub fn infer(&self, image: &Tensor) -> Tensor {
+        self.infer_with(image, &mut InferScratch::default())
+    }
+
+    /// [`VisionTransformer::infer`] reusing a caller-provided scratch
+    /// workspace (bit-identical results; see [`InferScratch`]).
+    pub fn infer_with(&self, image: &Tensor, scratch: &mut InferScratch) -> Tensor {
         let mut tokens = self.patch_embed.infer(image);
         for block in &self.blocks {
-            let (out, _) = block.infer(&tokens, None);
+            let (out, _) = block.infer_with(&tokens, None, scratch);
             tokens = out;
         }
         self.classify_tokens_infer(&tokens)
+    }
+
+    /// Runs a batch of images through one shared scratch workspace,
+    /// returning per-image logits. Equivalent to mapping
+    /// [`VisionTransformer::infer`] over `images`, but after the first image
+    /// the activation buffers are warm and reused.
+    pub fn infer_batch(&self, images: &[Tensor]) -> Vec<Tensor> {
+        let mut scratch = InferScratch::default();
+        images
+            .iter()
+            .map(|image| self.infer_with(image, &mut scratch))
+            .collect()
     }
 
     /// Inference classification head (no tape).

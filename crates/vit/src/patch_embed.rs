@@ -128,8 +128,7 @@ impl PatchEmbed {
 
     /// Multiply–accumulate count of the projection for one image.
     pub fn macs(&self) -> u64 {
-        self.projection
-            .macs(self.pos_embed.value().dim(0) - 1)
+        self.projection.macs(self.pos_embed.value().dim(0) - 1)
     }
 }
 

@@ -1,1 +1,19 @@
-//! HeatViT reproduction suite root crate; see `heatvit` (crates/core) for the library API.
+//! HeatViT reproduction suite root crate.
+//!
+//! This package exists so `cargo build`/`cargo test` at the repository root
+//! exercise the whole workspace; the library API lives in the [`heatvit`]
+//! crate (`crates/core`), re-exported here.
+//!
+//! ```
+//! use heatvit_suite::heatvit::{Engine, InferenceModel};
+//! use heatvit_suite::heatvit::vit::{ViTConfig, VisionTransformer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
+//! assert_eq!(Engine::new(model).model().variant(), "dense");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use heatvit;
