@@ -2,7 +2,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use heatvit::Engine;
-use heatvit_bench::{adaptive_pruned, micro_backbone, static_pruned, synthetic_batch};
+use heatvit_bench::{
+    adaptive_pruned, micro_backbone, quantized_adaptive, quantized_dense, static_pruned,
+    synthetic_batch,
+};
 
 fn bench_engine_variants(c: &mut Criterion) {
     let images = synthetic_batch(4, 0);
@@ -20,6 +23,17 @@ fn bench_engine_variants(c: &mut Criterion) {
     let mut fixed = Engine::new(static_pruned(micro_backbone(0)));
     c.bench_function("e2e/static-pruned micro batch=4", |b| {
         b.iter(|| fixed.infer_batch(black_box(&images)))
+    });
+
+    let backbone = micro_backbone(0);
+    let mut int8_dense = Engine::new(quantized_dense(&backbone));
+    c.bench_function("e2e/int8-dense micro batch=4", |b| {
+        b.iter(|| int8_dense.infer_batch(black_box(&images)))
+    });
+
+    let mut int8_adaptive = Engine::new(quantized_adaptive(&backbone));
+    c.bench_function("e2e/int8-adaptive micro batch=4", |b| {
+        b.iter(|| int8_adaptive.infer_batch(black_box(&images)))
     });
 }
 

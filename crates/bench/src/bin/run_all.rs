@@ -1,6 +1,6 @@
 //! The variant throughput table: dense vs. adaptive-pruned vs.
-//! static-pruned, one `heatvit::Engine` per variant over the same synthetic
-//! batch.
+//! static-pruned vs. int8-quantized (dense and adaptive), one
+//! `heatvit::Engine` per variant over the same synthetic batch.
 //!
 //! ```text
 //! cargo run --release -p heatvit-bench --bin run_all
@@ -8,13 +8,21 @@
 //!
 //! Before timing, the binary asserts batched/single parity for every
 //! variant, so the table is only printed for verified-identical arithmetic.
+//! The int8 rows report packed-DSP-equivalent MACs (raw ÷ ~1.9, paper
+//! Section V-C) and must agree with the float dense model on ≥95 % of
+//! top-1 predictions — both are asserted, not just printed.
 
 use heatvit::{Engine, InferenceModel};
-use heatvit_bench::{adaptive_pruned, micro_backbone, static_pruned, synthetic_batch};
+use heatvit_bench::{
+    adaptive_pruned, micro_backbone, quantized_adaptive, quantized_dense, static_pruned,
+    synthetic_batch,
+};
 use heatvit_tensor::Tensor;
 
 const BATCH: usize = 32;
 const WARMUP_BATCHES: usize = 2;
+/// Minimum top-1 agreement of the int8 rows against the float dense row.
+const INT8_MIN_AGREEMENT: f64 = 0.95;
 
 struct Row {
     variant: String,
@@ -23,6 +31,7 @@ struct Row {
     mmacs: f64,
     mac_speedup: f64,
     final_tokens: f64,
+    predictions: Vec<usize>,
 }
 
 fn measure<M: InferenceModel>(model: M, images: &[Tensor]) -> Row {
@@ -52,7 +61,18 @@ fn measure<M: InferenceModel>(model: M, images: &[Tensor]) -> Row {
         mmacs: out.mean_macs() / 1e6,
         mac_speedup: dense_macs / out.mean_macs().max(1.0),
         final_tokens: *out.mean_tokens_per_block().last().unwrap_or(&0.0),
+        predictions: out.predictions(),
     }
+}
+
+fn agreement(row: &Row, reference: &Row) -> f64 {
+    let same = row
+        .predictions
+        .iter()
+        .zip(reference.predictions.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    same as f64 / reference.predictions.len().max(1) as f64
 }
 
 fn main() {
@@ -62,22 +82,50 @@ fn main() {
         images.len()
     );
 
+    let backbone = micro_backbone(0);
     let rows = [
         measure(micro_backbone(0), &images),
         measure(adaptive_pruned(micro_backbone(0), 0), &images),
         measure(static_pruned(micro_backbone(0)), &images),
+        measure(quantized_dense(&backbone), &images),
+        measure(quantized_adaptive(&backbone), &images),
     ];
 
     println!(
-        "{:<18} {:>12} {:>10} {:>12} {:>12} {:>14}",
-        "variant", "images/s", "ms/image", "MMACs/img", "MAC-speedup", "final tokens"
+        "{:<18} {:>12} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "variant",
+        "images/s",
+        "ms/image",
+        "MMACs/img",
+        "MAC-speedup",
+        "final tokens",
+        "top1-vs-f32"
     );
-    println!("{}", "-".repeat(82));
+    println!("{}", "-".repeat(95));
     for r in &rows {
+        let agree = agreement(r, &rows[0]);
         println!(
-            "{:<18} {:>12.1} {:>10.3} {:>12.2} {:>11.2}x {:>14.1}",
-            r.variant, r.throughput, r.ms_per_image, r.mmacs, r.mac_speedup, r.final_tokens
+            "{:<18} {:>12.1} {:>10.3} {:>12.2} {:>11.2}x {:>14.1} {:>11.1}%",
+            r.variant,
+            r.throughput,
+            r.ms_per_image,
+            r.mmacs,
+            r.mac_speedup,
+            r.final_tokens,
+            agree * 100.0
         );
+        if r.variant.starts_with("int8") {
+            assert!(
+                agree >= INT8_MIN_AGREEMENT,
+                "{}: top-1 agreement {agree:.3} below the {INT8_MIN_AGREEMENT} gate",
+                r.variant
+            );
+        }
     }
     println!("\nparity: batched logits bitwise-identical to per-image inference for all variants");
+    println!(
+        "int8 rows: packed-DSP-equivalent MACs (raw / {:.1}), top-1 agreement vs. float dense >= {:.0}% asserted",
+        heatvit_quant::DSP_PACKING_FACTOR,
+        INT8_MIN_AGREEMENT * 100.0
+    );
 }

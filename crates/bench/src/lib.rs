@@ -3,13 +3,14 @@
 //! The criterion microbenches live in `benches/` (GEMM repacking, selector
 //! scoring, int8 GEMM, nonlinearity approximations, end-to-end engine) and
 //! the `run_all` binary prints the dense vs. adaptive-pruned vs.
-//! static-pruned throughput table over a synthetic batch. This library
-//! provides the shared fixtures so every bench measures the same models and
-//! data.
+//! static-pruned vs. int8-quantized throughput table over a synthetic
+//! batch. This library provides the shared fixtures so every bench measures
+//! the same models and data.
 
 #![warn(missing_docs)]
 
 use heatvit_data::{SyntheticConfig, SyntheticDataset};
+use heatvit_quant::{QuantPruneStage, QuantizedViT};
 use heatvit_selector::{PrunedViT, StaticPrunedViT, StaticRule, StaticStage, TokenSelector};
 use heatvit_tensor::Tensor;
 use heatvit_vit::{ViTConfig, VisionTransformer};
@@ -57,6 +58,36 @@ pub fn static_pruned(backbone: VisionTransformer) -> StaticPrunedViT {
     )
 }
 
+/// Seed of the held-out calibration batch (disjoint from the bench batch).
+pub const CALIBRATION_SEED: u64 = 0xCA11B;
+
+/// The int8-dense variant: the backbone's weights quantized to int8, static
+/// activation scales calibrated on a held-out synthetic batch.
+pub fn quantized_dense(backbone: &VisionTransformer) -> QuantizedViT {
+    let mut model = QuantizedViT::from_float(backbone);
+    model.calibrate(&synthetic_batch(8, CALIBRATION_SEED));
+    model
+}
+
+/// The int8-adaptive variant: the quantized backbone with attention-driven
+/// token pruning in front of blocks 2 and 4 — a two-stage schedule on the
+/// 6-block micro config, each stage pruning patch tokens whose class-token
+/// attention falls below 0.9× the mean.
+pub fn quantized_adaptive(backbone: &VisionTransformer) -> QuantizedViT {
+    let mut model = QuantizedViT::from_float(backbone).with_prune_stages(vec![
+        QuantPruneStage {
+            block: 2,
+            attn_frac: 0.9,
+        },
+        QuantPruneStage {
+            block: 4,
+            attn_frac: 0.9,
+        },
+    ]);
+    model.calibrate(&synthetic_batch(8, CALIBRATION_SEED));
+    model
+}
+
 /// A batch of synthetic 32×32 images matching the micro config.
 pub fn synthetic_batch(count: usize, seed: u64) -> Vec<Tensor> {
     SyntheticDataset::generate(SyntheticConfig::micro(), count, seed)
@@ -89,5 +120,19 @@ mod tests {
 
         let stat = static_pruned(b);
         assert_eq!(stat.infer(img).tokens_per_block.len(), 6);
+    }
+
+    #[test]
+    fn quantized_fixtures_are_calibrated_and_named() {
+        let backbone = micro_backbone(1);
+        let dense = quantized_dense(&backbone);
+        assert!(dense.is_calibrated());
+        assert_eq!(dense.variant_name(), "int8-dense");
+        let adaptive = quantized_adaptive(&backbone);
+        assert!(adaptive.is_calibrated());
+        assert_eq!(adaptive.variant_name(), "int8-adaptive");
+        let img = &synthetic_batch(1, 3)[0];
+        assert_eq!(dense.infer(img).tokens_per_block, vec![17; 6]);
+        assert!(adaptive.infer(img).tokens_per_block[4] <= 18);
     }
 }

@@ -12,8 +12,9 @@
 //! one:
 //!
 //! * [`InferenceModel`] — implemented by `VisionTransformer`, `PrunedViT`,
-//!   and `StaticPrunedViT`: classify one image, report per-block token
-//!   counts and a MAC estimate;
+//!   `StaticPrunedViT`, and the int8 `QuantizedViT` (dense or adaptively
+//!   pruned): classify one image, report per-block token counts and a MAC
+//!   estimate (packed-DSP-equivalent for the int8 backend);
 //! * [`Engine`] — drives an `InferenceModel` over batches with a persistent
 //!   scratch workspace (no per-image allocation of activations, keep-masks,
 //!   or repacking buffers), producing [`BatchOutput`] with stacked logits

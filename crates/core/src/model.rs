@@ -1,6 +1,7 @@
 //! The [`InferenceModel`] trait: one interface over the dense, adaptively
-//! pruned, and statically pruned ViT variants.
+//! pruned, statically pruned, and int8-quantized ViT variants.
 
+use heatvit_quant::QuantizedViT;
 use heatvit_selector::{PruneScratch, PrunedViT, StaticPrunedViT};
 use heatvit_tensor::Tensor;
 use heatvit_vit::{ViTConfig, VisionTransformer};
@@ -20,9 +21,11 @@ pub struct ModelOutput {
 /// A model that can classify one image and account for its own cost.
 ///
 /// Implemented by [`VisionTransformer`] (dense baseline), [`PrunedViT`]
-/// (adaptive HeatViT pruning), and [`StaticPrunedViT`] (input-agnostic
-/// pruning baselines), so the [`crate::Engine`] can benchmark all three
-/// under a single harness — the comparison setup of paper Figs. 2 and 4.
+/// (adaptive HeatViT pruning), [`StaticPrunedViT`] (input-agnostic pruning
+/// baselines), and [`QuantizedViT`] (the int8 integer pipeline, dense or
+/// adaptively pruned), so the [`crate::Engine`] can benchmark all of them
+/// under a single harness — the comparison setup of paper Figs. 2 and 4
+/// extended with the Section V quantized backend.
 ///
 /// The trait is object safe: heterogeneous model fleets can be held as
 /// `Box<dyn InferenceModel>`.
@@ -87,6 +90,38 @@ impl InferenceModel for PrunedViT {
 
     fn dense_macs(&self) -> u64 {
         self.backbone().macs()
+    }
+}
+
+impl InferenceModel for QuantizedViT {
+    /// `"int8-dense"` or `"int8-adaptive"` depending on pruning stages.
+    fn variant(&self) -> &str {
+        self.variant_name()
+    }
+
+    fn config(&self) -> &ViTConfig {
+        self.config()
+    }
+
+    /// Runs the integer pipeline through the engine's shared scratch: the
+    /// quantized model uses the `quant` compartment of [`PruneScratch`]
+    /// (int8 staging + float activation buffers), leaving the float
+    /// compartments untouched. Reported `macs` are packed-DSP-equivalent
+    /// (raw int8 MACs ÷ `heatvit_quant::DSP_PACKING_FACTOR`).
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        let inference = self.infer_with(image, &mut scratch.quant);
+        ModelOutput {
+            logits: inference.logits,
+            tokens_per_block: inference.tokens_per_block,
+            macs: inference.macs,
+        }
+    }
+
+    /// The *float-equivalent* dense baseline (unpacked raw MACs), so the
+    /// engine's MAC-speedup column exposes both the DSP-packing gain and any
+    /// token-pruning gain.
+    fn dense_macs(&self) -> u64 {
+        self.dense_macs()
     }
 }
 

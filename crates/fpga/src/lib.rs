@@ -5,7 +5,9 @@
 //! Table III/IV cycle accounting.
 //!
 //! Placeholder: the int8 arithmetic it models is implemented in
-//! `heatvit-quant`, and per-variant MAC counts flow through
+//! `heatvit-quant` (whose `DSP_PACKING_FACTOR = 1.9` and
+//! packed-DSP-equivalent MAC accounting this cycle model will consume), and
+//! per-variant MAC counts flow through
 //! `heatvit::InferenceModel::infer_one`; the cycle/BRAM model lands in a
 //! follow-up PR (see `ROADMAP.md` → Open items).
 

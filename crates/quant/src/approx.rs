@@ -58,13 +58,35 @@ pub fn exp_poly(p: f32) -> f32 {
     0.3585 * (p + 1.353) * (p + 1.353) + 0.344
 }
 
+/// Largest shift count applied by [`exp_shift`]. Beyond 126 bits the true
+/// `exp(x̃)` sits below `f32::MIN_POSITIVE` anyway, and `2^z` would overflow
+/// to infinity at `z = 128` — so the result is flushed to exactly `0.0`.
+pub const EXP_SHIFT_MAX: f32 = 126.0;
+
+/// Inputs this far below the row max are flushed to exactly `0.0` by
+/// [`softmax_approx_rows`] without evaluating [`exp_shift`]. The cutoff is
+/// `ln(f32::MIN_POSITIVE) ≈ −87.3`: anything below contributes nothing to a
+/// row sum that is always ≥ `exp̃(0) ≈ 1`, and masked attention scores
+/// (`heatvit-vit`'s `MASK_PENALTY = −1e4`) land far past it.
+pub const SOFTMAX_FLUSH: f32 = -87.0;
+
 /// Shift-based approximation of `exp(x̃)` for `x̃ ≤ 0` (paper Section V-D):
 /// decompose `x̃ = −ln2·z + p`, compute `exp(p)` with [`exp_poly`] and apply
 /// the power of two as a right shift.
+///
+/// The hardware kernel is only defined on `x̃ ≤ 0` (softmax feeds it
+/// `x − x_max`). Out-of-domain inputs are handled instead of producing
+/// garbage: positive inputs clamp to the domain edge `exp̃(0)`, and inputs so
+/// negative that the shift leaves the `f32` exponent range
+/// ([`EXP_SHIFT_MAX`] bits) flush to exactly `0.0` rather than sending `2^z`
+/// through `powi` overflow.
 pub fn exp_shift(x_tilde: f32) -> f32 {
-    debug_assert!(x_tilde <= 1e-6, "exp_shift expects non-positive input");
-    let z = (-x_tilde / std::f32::consts::LN_2).floor();
-    let p = x_tilde + z * std::f32::consts::LN_2;
+    let x = x_tilde.min(0.0);
+    let z = (-x / std::f32::consts::LN_2).floor();
+    if z > EXP_SHIFT_MAX {
+        return 0.0;
+    }
+    let p = x + z * std::f32::consts::LN_2;
     // exp(p) >> z
     exp_poly(p) / (2.0f32).powi(z as i32)
 }
@@ -72,25 +94,47 @@ pub fn exp_shift(x_tilde: f32) -> f32 {
 /// Approximated softmax over each row (paper Eq. 13):
 /// `Softmax_aprx(xᵢ) = δ₂ · exp̃(xᵢ − x_max) / Σⱼ exp̃(xⱼ − x_max)`.
 ///
+/// Entries more than [`SOFTMAX_FLUSH`] below their row max — in particular
+/// attention scores masked with a large negative constant — are flushed to
+/// exactly `0.0` before normalization, so masked columns receive zero weight
+/// and the row sum stays finite (the max entry always contributes
+/// `exp̃(0) ≈ 1`, so no `0/0` is possible).
+///
 /// # Panics
 ///
 /// Panics if `x` is not rank 2.
 pub fn softmax_approx_rows(x: &Tensor, delta2: f32) -> Tensor {
-    assert_eq!(x.rank(), 2, "softmax_approx_rows requires rank 2");
     let mut out = x.clone();
+    softmax_approx_rows_inplace(&mut out, delta2);
+    out
+}
+
+/// [`softmax_approx_rows`] overwriting `x` in place — the allocation-free
+/// form used by the quantized engine's scratch workspace (values identical
+/// to the allocating path).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 2.
+pub fn softmax_approx_rows_inplace(x: &mut Tensor, delta2: f32) {
+    assert_eq!(x.rank(), 2, "softmax_approx_rows requires rank 2");
     let cols = x.dim(1);
-    for row in out.data_mut().chunks_mut(cols) {
+    for row in x.data_mut().chunks_mut(cols) {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
-            *v = exp_shift(*v - max);
+            let shifted = *v - max;
+            *v = if shifted <= SOFTMAX_FLUSH {
+                0.0
+            } else {
+                exp_shift(shifted)
+            };
             sum += *v;
         }
         for v in row.iter_mut() {
             *v = delta2 * *v / sum;
         }
     }
-    out
 }
 
 /// Piecewise-linear sigmoid (PLAN, Tsmots et al. — paper reference [46]).
@@ -115,6 +159,12 @@ pub fn sigmoid_plan(x: f32) -> f32 {
 /// Applies the approximated GELU elementwise.
 pub fn gelu_approx_tensor(x: &Tensor, delta1: f32) -> Tensor {
     x.map(|v| gelu_approx(v, delta1))
+}
+
+/// [`gelu_approx_tensor`] overwriting `x` in place — the allocation-free
+/// form used by the quantized engine's scratch workspace.
+pub fn gelu_approx_inplace(x: &mut Tensor, delta1: f32) {
+    x.map_inplace(|v| gelu_approx(v, delta1));
 }
 
 #[cfg(test)]
@@ -174,6 +224,34 @@ mod tests {
     }
 
     #[test]
+    fn exp_shift_clamps_positive_inputs_to_domain_edge() {
+        // Regression: outside the debug-asserted domain the old kernel
+        // evaluated exp_poly off its segment and *amplified* by 2^|z| in
+        // release builds. Positive inputs now clamp to exp̃(0).
+        let edge = exp_shift(0.0);
+        assert!((edge - 1.0).abs() < 0.01, "exp̃(0) = {edge}");
+        for x in [1e-6f32, 0.3, 5.0, 1e4, f32::MAX] {
+            assert_eq!(exp_shift(x), edge, "x={x} must clamp to exp̃(0)");
+        }
+    }
+
+    #[test]
+    fn exp_shift_flushes_deeply_negative_inputs_to_zero() {
+        // Regression: a deeply negative input used to push 2^z through powi
+        // overflow. Beyond the f32 shift range the result is exactly 0.0.
+        // The flush begins once z = ⌊−x/ln2⌋ exceeds 126, i.e. x < −127·ln2.
+        for x in [-89.0f32, -200.0, -1e4, -1e10, f32::MIN] {
+            let y = exp_shift(x);
+            assert_eq!(y, 0.0, "x={x} gave {y}");
+        }
+        // Just inside the range the value is still a positive subnormal-ish
+        // number, and the kernel stays monotone across the cutoff.
+        let inside = exp_shift(-80.0);
+        assert!(inside > 0.0 && inside < 1e-30, "exp̃(-80) = {inside}");
+        assert!(exp_shift(-88.0) >= exp_shift(-89.0));
+    }
+
+    #[test]
     fn softmax_approx_rows_sum_to_delta2() {
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]);
         let s = softmax_approx_rows(&x, 0.5);
@@ -194,6 +272,46 @@ mod tests {
             idx
         };
         assert_eq!(rank(&exact), rank(&approx));
+    }
+
+    #[test]
+    fn softmax_flushes_masked_entries_to_exact_zero() {
+        // Regression: attention masks scores additively with −1e4
+        // (heatvit-vit's MASK_PENALTY); that used to drive exp_shift through
+        // powi overflow and could NaN the row. Masked entries must come out
+        // exactly 0.0 and the row must still normalize to δ₂.
+        const MASK_PENALTY: f32 = -1e4; // mirrors crates/vit/src/attention.rs
+        let x = Tensor::from_vec(
+            vec![0.4, 1.0 + MASK_PENALTY, -0.2, 0.1 + MASK_PENALTY],
+            &[1, 4],
+        );
+        for delta2 in [1.0f32, 0.5] {
+            let s = softmax_approx_rows(&x, delta2);
+            assert_eq!(s.at(&[0, 1]), 0.0);
+            assert_eq!(s.at(&[0, 3]), 0.0);
+            assert!(s.data().iter().all(|v| v.is_finite()));
+            let sum: f32 = s.row(0).iter().sum();
+            assert!((sum - delta2).abs() < 1e-3, "row sums to {sum}");
+            assert!(s.at(&[0, 0]) > s.at(&[0, 2]), "ranking preserved");
+        }
+        // A fully-masked row (every score = MASK_PENALTY) degrades to
+        // uniform rather than NaN: max subtraction brings it back to 0.
+        let all_masked = Tensor::full(&[1, 3], MASK_PENALTY);
+        let s = softmax_approx_rows(&all_masked, 1.0);
+        for v in s.row(0) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-3, "got {v}");
+        }
+    }
+
+    #[test]
+    fn softmax_inplace_and_gelu_inplace_match_allocating_paths() {
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.0, -0.4, 1.1], &[2, 3]);
+        let mut s = x.clone();
+        softmax_approx_rows_inplace(&mut s, 0.5);
+        assert!(s.allclose(&softmax_approx_rows(&x, 0.5), 0.0));
+        let mut g = x.clone();
+        gelu_approx_inplace(&mut g, 0.5);
+        assert!(g.allclose(&gelu_approx_tensor(&x, 0.5), 0.0));
     }
 
     #[test]

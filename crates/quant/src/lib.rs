@@ -7,11 +7,17 @@
 //! * [`QuantParams`] / [`QTensor`] — symmetric int8 fixed-point
 //!   quantization with max-abs calibration, plus [`fake_quantize`] for
 //!   accuracy studies without integer kernels;
-//! * [`qmatmul`] / [`QLinear`] — `i8 × i8 → i32` GEMM with float rescaling,
-//!   the arithmetic the FPGA's DSP-packed GEMM engine performs;
+//! * [`qmatmul`] / [`qmatmul_transb`] / [`QLinear`] — `i8 × i8 → i32` GEMM
+//!   with float rescaling (plus allocation-free `_into` forms), the
+//!   arithmetic the FPGA's DSP-packed GEMM engine performs;
 //! * [`approx`] — polynomial replacements for `erf`/GELU (Eqs. 11–12),
 //!   shift-based softmax exponentiation (Eqs. 13–14), and the PLAN sigmoid,
 //!   all with the paper's `δ < 1` regularization factors;
+//! * [`QuantizedViT`] — the whole backbone on the integer pipeline:
+//!   [`QLinear`] projections, int8 attention products, approximated
+//!   GELU/softmax, static-scale [`QuantizedViT::calibrate`] with dynamic
+//!   max-abs fallback, optional adaptive token pruning, and
+//!   packed-DSP-equivalent MAC accounting ([`DSP_PACKING_FACTOR`]);
 //! * [`error`] — the Section V-E quantization-error-contraction analysis
 //!   (Eqs. 15–17, Fig. 10): machinery to verify that the regularized
 //!   nonlinearities keep error amplification below one.
@@ -35,6 +41,10 @@ pub mod approx;
 pub mod error;
 mod qgemm;
 mod qtensor;
+mod qvit;
+mod scratch;
 
-pub use qgemm::{qmatmul, QLinear};
+pub use qgemm::{qmatmul, qmatmul_into, qmatmul_transb, qmatmul_transb_into, QLinear};
 pub use qtensor::{fake_quantize, QTensor, QuantParams};
+pub use qvit::{packed_macs, QuantInference, QuantPruneStage, QuantizedViT, DSP_PACKING_FACTOR};
+pub use scratch::QuantScratch;

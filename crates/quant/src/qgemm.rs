@@ -9,6 +9,11 @@
 use crate::qtensor::QTensor;
 use heatvit_tensor::Tensor;
 
+/// Output-column tile width of the int8 GEMM kernels: a stack-resident `i32`
+/// accumulator strip, mirroring the accelerator's fixed-size output BRAM
+/// tile (paper Fig. 8a) and keeping the `_into` paths allocation-free.
+const ACC_TILE: usize = 64;
+
 /// Integer matrix product `a · b` with float rescaling.
 ///
 /// `a` is `[M, K]`, `b` is `[K, N]`; the result is the dequantized `[M, N]`
@@ -18,33 +23,101 @@ use heatvit_tensor::Tensor;
 ///
 /// Panics if the operands are not rank 2 or inner dimensions differ.
 pub fn qmatmul(a: &QTensor, b: &QTensor) -> Tensor {
+    let mut out = Tensor::default();
+    qmatmul_into(a, b, &mut out);
+    out
+}
+
+/// [`qmatmul`] writing into a caller-provided output tensor (reshaped in
+/// place, values bit-identical to the allocating path). Accumulation stays
+/// in `i32` within a fixed stack tile, so the hot path performs no heap
+/// allocation once `out` is warm.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank 2 or inner dimensions differ.
+pub fn qmatmul_into(a: &QTensor, b: &QTensor, out: &mut Tensor) {
     assert_eq!(a.dims().len(), 2, "qmatmul lhs must be rank 2");
     assert_eq!(b.dims().len(), 2, "qmatmul rhs must be rank 2");
     let (m, k) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "qmatmul inner dimensions must agree");
-    let mut acc = vec![0i32; m * n];
+    let rescale = a.params().scale * b.params().scale;
     let ad = a.data();
     let bd = b.data();
+    out.reset_unspecified(&[m, n]);
+    let od = out.data_mut();
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut acc[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0 {
-                continue;
+        let orow = &mut od[i * n..(i + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let jn = ACC_TILE.min(n - j0);
+            let mut acc = [0i32; ACC_TILE];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0 {
+                    continue;
+                }
+                let av = av as i32;
+                let brow = &bd[p * n + j0..p * n + j0 + jn];
+                for (c, &bv) in acc[..jn].iter_mut().zip(brow.iter()) {
+                    *c += av * bv as i32;
+                }
             }
-            let av = av as i32;
-            let brow = &bd[p * n..(p + 1) * n];
-            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *c += av * bv as i32;
+            for (o, &c) in orow[j0..j0 + jn].iter_mut().zip(acc[..jn].iter()) {
+                *o = c as f32 * rescale;
             }
+            j0 += jn;
         }
     }
+}
+
+/// Integer matrix product `a · bᵀ` with float rescaling.
+///
+/// `a` is `[M, K]`, `b` is `[N, K]`; the result is the dequantized `[M, N]`
+/// matrix. This is the attention-score shape `Q·Kᵀ`: both operands are
+/// row-major with contiguous `K`-length rows, so each output element is one
+/// contiguous int8 dot product — exactly how the FPGA GEMM engine consumes
+/// the transposed key tile.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank 2 or their row widths differ.
+pub fn qmatmul_transb(a: &QTensor, b: &QTensor) -> Tensor {
+    let mut out = Tensor::default();
+    qmatmul_transb_into(a, b, &mut out);
+    out
+}
+
+/// [`qmatmul_transb`] writing into a caller-provided output tensor
+/// (reshaped in place, values bit-identical to the allocating path).
+///
+/// # Panics
+///
+/// Panics if the operands are not rank 2 or their row widths differ.
+pub fn qmatmul_transb_into(a: &QTensor, b: &QTensor, out: &mut Tensor) {
+    assert_eq!(a.dims().len(), 2, "qmatmul_transb lhs must be rank 2");
+    assert_eq!(b.dims().len(), 2, "qmatmul_transb rhs must be rank 2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "qmatmul_transb inner dimensions must agree");
     let rescale = a.params().scale * b.params().scale;
-    Tensor::from_vec(
-        acc.into_iter().map(|v| v as f32 * rescale).collect(),
-        &[m, n],
-    )
+    let ad = a.data();
+    let bd = b.data();
+    out.reset_unspecified(&[m, n]);
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av as i32 * bv as i32;
+            }
+            *o = acc as f32 * rescale;
+        }
+    }
 }
 
 /// Quantized linear layer: int8 weight, float bias, dynamic or static
@@ -72,9 +145,40 @@ impl QLinear {
         self.activation = Some(params);
     }
 
+    /// Drops the static activation scale, returning to dynamic max-abs.
+    pub fn clear_activation_params(&mut self) {
+        self.activation = None;
+    }
+
     /// The quantized weight.
     pub fn weight(&self) -> &QTensor {
         &self.weight
+    }
+
+    /// The static activation parameters, if calibrated.
+    pub fn activation_params(&self) -> Option<crate::QuantParams> {
+        self.activation
+    }
+
+    /// Validates the input shape with a clear message *before* the integer
+    /// pipeline runs. Shared by [`QLinear::infer`] and
+    /// [`QLinear::infer_into`]: without the rank check a rank-3 input used
+    /// to die with a confusing index panic deep inside `qmatmul`.
+    fn check_input(&self, x: &Tensor) {
+        assert_eq!(
+            x.rank(),
+            2,
+            "QLinear input must be rank 2 [N, in_features], got rank {}",
+            x.rank()
+        );
+        assert_eq!(x.dim(1), self.weight.dim(0), "input width mismatch");
+    }
+
+    /// Resolves the activation quantization parameters for one input:
+    /// the calibrated static scale if set, dynamic max-abs otherwise.
+    fn input_params(&self, x: &Tensor) -> crate::QuantParams {
+        self.activation
+            .unwrap_or_else(|| crate::QuantParams::observe(x))
     }
 
     /// Runs `x·W + b` through the integer pipeline: quantize activations,
@@ -82,14 +186,32 @@ impl QLinear {
     ///
     /// # Panics
     ///
-    /// Panics if `x` is not `[N, in_features]`.
+    /// Panics if `x` is not rank-2 `[N, in_features]`.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        assert_eq!(x.dim(1), self.weight.dim(0), "input width mismatch");
-        let qx = match self.activation {
-            Some(params) => QTensor::quantize_with(x, params),
-            None => QTensor::quantize(x),
-        };
+        self.check_input(x);
+        let qx = QTensor::quantize_with(x, self.input_params(x));
         let mut out = qmatmul(&qx, &self.weight);
+        self.add_bias(&mut out);
+        out
+    }
+
+    /// [`QLinear::infer`] staging the quantized activations in `qbuf` and
+    /// writing the result into `out` (both reused across calls; values
+    /// bit-identical to the allocating path). This is the int8 counterpart
+    /// of the float layers' `infer_into` discipline: once the buffers are
+    /// warm the integer pipeline performs no per-call heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank-2 `[N, in_features]`.
+    pub fn infer_into(&self, x: &Tensor, qbuf: &mut QTensor, out: &mut Tensor) {
+        self.check_input(x);
+        QTensor::quantize_with_into(x, self.input_params(x), qbuf);
+        qmatmul_into(qbuf, &self.weight, out);
+        self.add_bias(out);
+    }
+
+    fn add_bias(&self, out: &mut Tensor) {
         if let Some(bias) = &self.bias {
             let n = out.dim(1);
             for row in out.data_mut().chunks_mut(n) {
@@ -98,7 +220,6 @@ impl QLinear {
                 }
             }
         }
-        out
     }
 }
 
@@ -168,5 +289,70 @@ mod tests {
         let a = QTensor::quantize(&Tensor::zeros(&[2, 3]));
         let b = QTensor::quantize(&Tensor::zeros(&[4, 2]));
         qmatmul(&a, &b);
+    }
+
+    #[test]
+    fn qmatmul_transb_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Width > ACC_TILE to exercise the tiled path on the plain kernel.
+        let a = Tensor::rand_normal(&[5, 80], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[7, 80], 0.0, 1.0, &mut rng);
+        let qa = QTensor::quantize(&a);
+        let qb = QTensor::quantize(&b);
+        let qbt = QTensor::quantize_with(&b.transpose2(), qb.params());
+        let direct = qmatmul_transb(&qa, &qb);
+        let via_transpose = qmatmul(&qa, &qbt);
+        assert!(direct.allclose(&via_transpose, 0.0));
+        assert_eq!(direct.dims(), &[5, 7]);
+    }
+
+    #[test]
+    fn qmatmul_into_variants_match_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::rand_normal(&[9, 100], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[100, 70], 0.0, 1.0, &mut rng);
+        let (qa, qb) = (QTensor::quantize(&a), QTensor::quantize(&b));
+        // Stale differently-shaped buffers must be reshaped and overwritten.
+        let mut out = Tensor::full(&[2, 2], 9.0);
+        qmatmul_into(&qa, &qb, &mut out);
+        assert!(out.allclose(&qmatmul(&qa, &qb), 0.0));
+        let c = Tensor::rand_normal(&[11, 100], 0.0, 1.0, &mut rng);
+        let qc = QTensor::quantize(&c);
+        qmatmul_transb_into(&qa, &qc, &mut out);
+        assert!(out.allclose(&qmatmul_transb(&qa, &qc), 0.0));
+    }
+
+    #[test]
+    fn qlinear_infer_into_matches_infer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Linear::new(16, 8, true, &mut rng);
+        let qlayer = QLinear::from_linear(&layer);
+        let x = Tensor::rand_normal(&[6, 16], 0.0, 1.0, &mut rng);
+        let mut qbuf = QTensor::default();
+        let mut out = Tensor::default();
+        qlayer.infer_into(&x, &mut qbuf, &mut out);
+        assert!(out.allclose(&qlayer.infer(&x), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2")]
+    fn qlinear_infer_rejects_rank3_input_up_front() {
+        // Regression: a rank-3 input used to reach qmatmul and die with a
+        // confusing index panic; the rank is now asserted at the boundary.
+        let mut rng = StdRng::seed_from_u64(6);
+        let qlayer = QLinear::from_linear(&Linear::new(4, 4, true, &mut rng));
+        qlayer.infer(&Tensor::zeros(&[2, 3, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2")]
+    fn qlinear_infer_into_shares_the_rank_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let qlayer = QLinear::from_linear(&Linear::new(4, 4, true, &mut rng));
+        qlayer.infer_into(
+            &Tensor::zeros(&[2, 3, 4]),
+            &mut QTensor::default(),
+            &mut Tensor::default(),
+        );
     }
 }

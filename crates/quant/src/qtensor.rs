@@ -65,6 +65,18 @@ pub struct QTensor {
     params: QuantParams,
 }
 
+impl Default for QTensor {
+    /// An empty staging buffer (shape `[0]`, unit scale) for use with
+    /// [`QTensor::quantize_with_into`].
+    fn default() -> Self {
+        Self {
+            data: Vec::new(),
+            dims: vec![0],
+            params: QuantParams { scale: 1.0 },
+        }
+    }
+}
+
 impl QTensor {
     /// Quantizes a float tensor with max-abs calibration.
     pub fn quantize(t: &Tensor) -> Self {
@@ -78,6 +90,21 @@ impl QTensor {
             dims: t.dims().to_vec(),
             params,
         }
+    }
+
+    /// [`QTensor::quantize_with`] writing into a caller-provided buffer.
+    ///
+    /// `out`'s integer storage is reused (no allocation once warm) and its
+    /// shape/parameters are overwritten — the int8 analogue of the float
+    /// `_into` ops backing the engine's allocation-free hot path. Values are
+    /// identical to the allocating path.
+    pub fn quantize_with_into(t: &Tensor, params: QuantParams, out: &mut QTensor) {
+        out.data.clear();
+        out.data
+            .extend(t.data().iter().map(|&v| params.quantize(v)));
+        out.dims.clear();
+        out.dims.extend_from_slice(t.dims());
+        out.params = params;
     }
 
     /// The integer data (row-major).
@@ -172,6 +199,24 @@ mod tests {
         let noise = f.sub(&t).norm();
         let signal = t.norm();
         assert!(signal / noise.max(1e-9) > 30.0, "sqnr too low");
+    }
+
+    #[test]
+    fn quantize_with_into_reuses_buffer_and_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::rand_normal(&[6, 6], 0.0, 1.0, &mut rng);
+        let params = QuantParams::observe(&t);
+        let mut buf = QTensor::default();
+        QTensor::quantize_with_into(&t, params, &mut buf);
+        let fresh = QTensor::quantize_with(&t, params);
+        assert_eq!(buf.data(), fresh.data());
+        assert_eq!(buf.dims(), fresh.dims());
+        // Refilling with a smaller tensor reshapes without reallocating.
+        let cap = buf.data.capacity();
+        let small = Tensor::rand_normal(&[2, 3], 0.0, 1.0, &mut rng);
+        QTensor::quantize_with_into(&small, params, &mut buf);
+        assert_eq!(buf.dims(), &[2, 3]);
+        assert_eq!(buf.data.capacity(), cap);
     }
 
     #[test]

@@ -132,11 +132,36 @@ impl PruningSchedule {
         Self { placements: merged }
     }
 
-    /// Overall GMACs-weighted average keep ratio (coarse pruning-rate
-    /// summary used in experiment tables).
+    /// Unweighted mean of the per-block keep ratios (every block counts
+    /// equally, regardless of how many MACs it runs at). For the
+    /// compute-weighted summary used in experiment tables see
+    /// [`PruningSchedule::macs_weighted_keep`].
     pub fn mean_keep(&self, depth: usize) -> f32 {
         let per_block = self.keep_per_block(depth);
         per_block.iter().sum::<f32>() / depth as f32
+    }
+
+    /// GMACs-weighted average keep ratio: each block's keep ratio weighted
+    /// by the MACs that block actually executes under this schedule (the
+    /// Table II flops model at the scheduled token counts). Heavily pruned
+    /// blocks run fewer MACs, so they pull the average down less than in
+    /// [`PruningSchedule::mean_keep`] — this is the honest "how much of the
+    /// compute kept full tokens" number.
+    pub fn macs_weighted_keep(&self, config: &ViTConfig) -> f32 {
+        use heatvit_vit::flops::BlockComplexity;
+        let keep = self.keep_per_block(config.depth);
+        let tokens = self.tokens_per_block(config);
+        let mut weighted = 0.0f64;
+        let mut total = 0.0f64;
+        for (k, n) in keep.iter().zip(tokens.iter()) {
+            let macs = BlockComplexity::new(config, *n).total() as f64;
+            weighted += *k as f64 * macs;
+            total += macs;
+        }
+        if total == 0.0 {
+            return 1.0;
+        }
+        (weighted / total) as f32
     }
 }
 
@@ -216,11 +241,32 @@ mod tests {
     }
 
     #[test]
-    fn mean_keep_averages_blocks() {
+    fn mean_keep_is_the_unweighted_block_mean() {
+        // Regression pin for the documented behavior: every block counts
+        // equally — blocks 0–1 at 1.0 and blocks 2–3 at 0.5 average to 0.75.
         let s = PruningSchedule::new(vec![SelectorPlacement {
             block: 2,
             target_keep: 0.5,
         }]);
         assert!((s.mean_keep(4) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn macs_weighted_keep_discounts_pruned_blocks() {
+        let cfg = heatvit_vit::ViTConfig::deit_small();
+        let s = PruningSchedule::three_stage(12, [0.7, 0.39, 0.21]);
+        let unweighted = s.mean_keep(cfg.depth);
+        let weighted = s.macs_weighted_keep(&cfg);
+        // Pruned blocks execute fewer MACs, so they carry less weight and
+        // the weighted average sits strictly above the unweighted one.
+        assert!(
+            weighted > unweighted,
+            "weighted {weighted} vs unweighted {unweighted}"
+        );
+        assert!(weighted < 1.0);
+        // An empty schedule keeps everything under both measures.
+        let dense = PruningSchedule::default();
+        assert!((dense.macs_weighted_keep(&cfg) - 1.0).abs() < 1e-6);
+        assert!((dense.mean_keep(cfg.depth) - 1.0).abs() < 1e-6);
     }
 }

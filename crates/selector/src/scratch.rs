@@ -9,6 +9,7 @@
 //! keep/prune partitions, and the backbone's [`InferScratch`] — so a batched
 //! engine allocates them once per batch instead of once per image.
 
+use heatvit_quant::QuantScratch;
 use heatvit_tensor::Tensor;
 use heatvit_vit::InferScratch;
 
@@ -21,6 +22,9 @@ use heatvit_vit::InferScratch;
 pub struct PruneScratch {
     /// Backbone (per-block) activation buffers.
     pub vit: InferScratch,
+    /// Integer-pipeline buffers (used by the `heatvit-quant` backend when it
+    /// runs under the same batched engine; unused by the float variants).
+    pub quant: QuantScratch,
     /// Patch-token rows (class token excluded) `[N-1, D]`.
     pub(crate) patches: Tensor,
     /// The class-token row `[1, D]`.

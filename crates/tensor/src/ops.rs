@@ -167,6 +167,26 @@ impl Tensor {
         Tensor::from_vec(data, &[rows, end - start])
     }
 
+    /// [`Tensor::slice_cols`] writing into a caller-provided output tensor
+    /// (see [`Tensor::gather_rows_into`] for the reuse contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::slice_cols`].
+    pub fn slice_cols_into(&self, start: usize, end: usize, out: &mut Tensor) {
+        assert_eq!(self.rank(), 2, "slice_cols requires rank 2");
+        assert!(
+            start <= end && end <= self.dim(1),
+            "column range out of bounds"
+        );
+        let rows = self.dim(0);
+        let width = end - start;
+        out.reset_unspecified(&[rows, width]);
+        for r in 0..rows {
+            out.data_mut()[r * width..(r + 1) * width].copy_from_slice(&self.row(r)[start..end]);
+        }
+    }
+
     /// Gathers rows of a rank-2 tensor by index, in order.
     ///
     /// This is the dense-repacking primitive: informative token rows are
@@ -359,6 +379,17 @@ mod tests {
         let s = a.slice_cols(1, 3);
         assert_eq!(s.row(0), &[1.0, 2.0]);
         assert_eq!(s.row(1), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_cols_into_matches_allocating_path() {
+        let a = Tensor::from_fn(&[3, 5], |ix| (ix[0] * 5 + ix[1]) as f32);
+        // A stale, differently-shaped buffer must be reshaped and overwritten.
+        let mut out = Tensor::full(&[2, 2], 7.0);
+        a.slice_cols_into(1, 4, &mut out);
+        assert!(out.allclose(&a.slice_cols(1, 4), 0.0));
+        a.slice_cols_into(0, 0, &mut out);
+        assert_eq!(out.dims(), &[3, 0]);
     }
 
     #[test]

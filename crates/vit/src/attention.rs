@@ -8,8 +8,10 @@ use rand::Rng;
 /// Additive score penalty applied to masked-out key columns.
 ///
 /// Large enough to zero the post-softmax probability in `f32` without
-/// overflowing when summed with real scores.
-const MASK_PENALTY: f32 = -1e4;
+/// overflowing when summed with real scores. Public so downstream kernels
+/// (e.g. `heatvit-quant`'s approximated softmax) can regression-test the
+/// exact constant their flush-to-zero handling must absorb.
+pub const MASK_PENALTY: f32 = -1e4;
 
 /// Per-head attention maps of one MSA invocation: `maps[h]` is the `[N, N]`
 /// row-stochastic attention matrix of head `h`.

@@ -41,7 +41,7 @@ mod patch_embed;
 mod scratch;
 pub mod weights;
 
-pub use attention::{AttentionMaps, MultiHeadAttention};
+pub use attention::{AttentionMaps, MultiHeadAttention, MASK_PENALTY};
 pub use block::EncoderBlock;
 pub use config::ViTConfig;
 pub use model::{InferenceTrace, VisionTransformer};
