@@ -1,0 +1,280 @@
+//! The batched inference [`Engine`]: sequential core, thread-sharded
+//! execution ([`parallel`]), and result types ([`report`]).
+
+mod parallel;
+mod report;
+
+pub use report::{BatchOutput, EngineReport};
+
+use crate::model::{InferenceModel, ModelOutput};
+use heatvit_data::{Batch, Loader};
+use heatvit_nn::accuracy;
+use heatvit_selector::PruneScratch;
+use heatvit_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Execution configuration of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads used to shard each batch. `1` (the default) runs the
+    /// classic sequential path; higher values fan disjoint index ranges out
+    /// over `std::thread::scope` workers, one [`PruneScratch`] per worker.
+    /// Outputs are bitwise identical at every setting.
+    pub threads: usize,
+}
+
+impl EngineConfig {
+    /// A configuration running `threads` workers per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "engine thread count must be positive");
+        Self { threads }
+    }
+
+    /// A configuration sized to the machine: one worker per available
+    /// hardware thread (falling back to 1 when parallelism cannot be
+    /// queried).
+    pub fn auto() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
+
+/// A batched inference engine: one model variant plus a pool of persistent
+/// scratch workspaces, one per worker thread.
+///
+/// The engine amortizes dispatch over a batch — activation, repacking, and
+/// keep-mask buffers are allocated once and reused for every image — and
+/// reports throughput alongside the per-image cost model. With
+/// [`EngineConfig::threads`] ` > 1` each batch is sharded into disjoint
+/// index ranges executed by scoped worker threads that share the model
+/// immutably and own one scratch each; every image writes its results into
+/// the slot preassigned by its batch index, so batched outputs are bitwise
+/// identical to the sequential per-image path at any thread count. Because
+/// every variant implements [`InferenceModel`] through its own bit-exact
+/// `infer` arithmetic, engine outputs are directly comparable across dense,
+/// adaptive-pruned, static-pruned, and int8-quantized models.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit::{Engine, InferenceModel};
+/// use heatvit_tensor::Tensor;
+/// use heatvit_vit::{ViTConfig, VisionTransformer};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let model = VisionTransformer::new(ViTConfig::test_tiny(4), &mut rng);
+/// let images: Vec<Tensor> = (0..3)
+///     .map(|_| Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng))
+///     .collect();
+/// let mut engine = Engine::with_threads(model, 2);
+/// let out = engine.infer_batch(&images);
+/// assert_eq!(out.logits.dims(), &[3, 4]);
+/// // Sharded logits match the per-image path bitwise.
+/// let single = engine.model().infer(&images[1]);
+/// assert_eq!(out.logits.row(1), single.row(0));
+/// ```
+#[derive(Debug)]
+pub struct Engine<M: InferenceModel> {
+    model: M,
+    config: EngineConfig,
+    /// One scratch per worker; `scratches[0]` also serves the sequential
+    /// paths ([`Engine::infer_one`], single-thread batches).
+    scratches: Vec<PruneScratch>,
+}
+
+impl<M: InferenceModel> Engine<M> {
+    /// Wraps a model with a fresh single-threaded workspace.
+    pub fn new(model: M) -> Self {
+        Self::with_config(model, EngineConfig::default())
+    }
+
+    /// Wraps a model with a pool of `threads` worker scratches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(model: M, threads: usize) -> Self {
+        Self::with_config(model, EngineConfig::with_threads(threads))
+    }
+
+    /// Wraps a model under an explicit [`EngineConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads == 0` (reachable because the field is
+    /// public; the constructors can't be bypassed into a zero-width pool).
+    pub fn with_config(model: M, config: EngineConfig) -> Self {
+        assert!(config.threads > 0, "engine thread count must be positive");
+        Self {
+            model,
+            config,
+            scratches: vec![PruneScratch::default(); config.threads],
+        }
+    }
+
+    /// The active execution configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Resizes the worker pool in place, keeping already-warm scratches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config = EngineConfig::with_threads(threads);
+        self.scratches.resize_with(threads, PruneScratch::default);
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Classifies one image through the shared scratch workspace.
+    pub fn infer_one(&mut self, image: &Tensor) -> ModelOutput {
+        self.model.infer_one(image, &mut self.scratches[0])
+    }
+
+    /// Pushes a batch of images through the model, sharding it across the
+    /// configured worker threads (sequentially when `threads == 1`). Each
+    /// worker reuses its own scratch workspace across its whole shard.
+    pub fn infer_batch(&mut self, images: &[Tensor]) -> BatchOutput {
+        self.infer_batch_iter(images.iter())
+    }
+
+    /// [`Engine::infer_batch`] over any iterator of borrowed images (used
+    /// directly by the loader integration, whose batches hold `&Sample`).
+    ///
+    /// The iterator is drained into a reference buffer up front so shards
+    /// can index the batch (a handful of pointers — negligible next to one
+    /// image's inference); the reported `elapsed` includes that drain.
+    pub fn infer_batch_iter<'a>(
+        &mut self,
+        images: impl Iterator<Item = &'a Tensor>,
+    ) -> BatchOutput {
+        let start = Instant::now();
+        let refs: Vec<&Tensor> = images.collect();
+        self.infer_refs(&refs, start)
+    }
+
+    /// The shared batch core: preallocates one output slot per image, then
+    /// runs the whole batch as one shard (sequential) or fans disjoint
+    /// ranges out over scoped threads. Both paths execute
+    /// [`parallel::run_shard`], so their outputs are bit-identical.
+    fn infer_refs(&mut self, images: &[&Tensor], start: Instant) -> BatchOutput {
+        let classes = self.model.config().num_classes;
+        let batch = images.len();
+        let mut logits_data = vec![0.0f32; batch * classes];
+        let mut tokens_per_block: Vec<Vec<usize>> = vec![Vec::new(); batch];
+        let mut macs = vec![0u64; batch];
+        let workers = self.config.threads.min(batch).max(1);
+        if workers == 1 {
+            parallel::run_shard(
+                &self.model,
+                &mut self.scratches[0],
+                images,
+                classes,
+                &mut logits_data,
+                &mut tokens_per_block,
+                &mut macs,
+            );
+        } else {
+            parallel::infer_sharded(
+                &self.model,
+                &mut self.scratches[..workers],
+                images,
+                classes,
+                &mut logits_data,
+                &mut tokens_per_block,
+                &mut macs,
+            );
+        }
+        BatchOutput {
+            logits: Tensor::from_vec(logits_data, &[batch, classes]),
+            tokens_per_block,
+            macs,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Classifies one loader batch (sharded like [`Engine::infer_batch`]).
+    pub fn infer_samples(&mut self, batch: &Batch<'_>) -> BatchOutput {
+        self.infer_batch_iter(batch.samples.iter().map(|s| &s.image))
+    }
+
+    /// Runs one full epoch of `loader` (no shuffling effect on results other
+    /// than order), aggregating accuracy, throughput, and cost. Every batch
+    /// is sharded across the configured worker threads, so a multi-threaded
+    /// engine reports the same accuracy/cost numbers at higher
+    /// `images_per_sec`.
+    pub fn run_epoch(&mut self, loader: &Loader<'_>, epoch: u64) -> EngineReport {
+        let mut images = 0usize;
+        let mut batches = 0usize;
+        let mut correct = 0.0f64;
+        let mut inference_time = Duration::ZERO;
+        let mut total_macs = 0u64;
+        let mut final_tokens = 0u64;
+        for batch in loader.iter_epoch(epoch) {
+            let out = self.infer_samples(&batch);
+            let labels = batch.labels();
+            correct += accuracy(&out.logits, &labels) as f64 * labels.len() as f64;
+            images += out.len();
+            batches += 1;
+            inference_time += out.elapsed;
+            total_macs += out.macs.iter().sum::<u64>();
+            final_tokens += out
+                .tokens_per_block
+                .iter()
+                .map(|t| *t.last().unwrap_or(&0) as u64)
+                .sum::<u64>();
+        }
+        EngineReport {
+            images,
+            batches,
+            accuracy: if images == 0 {
+                0.0
+            } else {
+                (correct / images as f64) as f32
+            },
+            images_per_sec: if images == 0 {
+                0.0
+            } else {
+                images as f64 / inference_time.as_secs_f64().max(1e-12)
+            },
+            mean_macs: if images == 0 {
+                0.0
+            } else {
+                total_macs as f64 / images as f64
+            },
+            mean_final_tokens: if images == 0 {
+                0.0
+            } else {
+                final_tokens as f64 / images as f64
+            },
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Scoped-thread fan-out for the batched engine.
+//!
+//! A batch is sharded into disjoint index ranges — one per worker, computed
+//! by [`heatvit_data::chunk_ranges`] as a pure function of `(batch len,
+//! workers)` — and each worker runs its range on its own thread with its own
+//! [`PruneScratch`], sharing the model immutably (`InferenceModel: Sync`).
+//! Every image's logits, token counts, and MACs are written into output
+//! slots preassigned by image index, so the merged [`crate::BatchOutput`] is
+//! bitwise identical to the sequential path at every thread count: no
+//! reduction order, no contended accumulator, no nondeterminism to tolerate.
+
+use crate::model::InferenceModel;
+use heatvit_data::chunk_ranges;
+use heatvit_selector::PruneScratch;
+use heatvit_tensor::Tensor;
+
+/// Runs one shard of a batch sequentially, writing image `i`'s outputs into
+/// slot `i` of each output slice. The sequential engine path is exactly this
+/// function over the whole batch, which is what makes sharded and
+/// single-thread execution bit-identical by construction.
+pub(crate) fn run_shard<M: InferenceModel>(
+    model: &M,
+    scratch: &mut PruneScratch,
+    images: &[&Tensor],
+    classes: usize,
+    logits: &mut [f32],
+    tokens_per_block: &mut [Vec<usize>],
+    macs: &mut [u64],
+) {
+    for (i, image) in images.iter().enumerate() {
+        let out = model.infer_one(image, scratch);
+        debug_assert_eq!(out.logits.dims(), &[1, classes]);
+        logits[i * classes..(i + 1) * classes].copy_from_slice(out.logits.data());
+        tokens_per_block[i] = out.tokens_per_block;
+        macs[i] = out.macs;
+    }
+}
+
+/// Fans `images` out over one scoped thread per scratch in `scratches`,
+/// splitting batch and output buffers into the same disjoint ranges.
+///
+/// The caller guarantees `logits.len() == images.len() * classes` and
+/// `tokens_per_block.len() == macs.len() == images.len()`; each worker
+/// receives exclusive `&mut` sub-slices via `split_at_mut`, so the merge is
+/// the writes themselves — no post-pass, no locks.
+///
+/// Only `workers - 1` threads are spawned per batch: the first (largest)
+/// shard runs on the calling thread while the scope keeps the spawned
+/// workers alive, so a `k`-worker batch pays `k - 1` thread creations.
+/// Threads are still created per batch rather than pooled — acceptable
+/// while shards are millisecond-scale, and the preassigned-slot merge
+/// leaves room to swap in a persistent pool later without touching outputs.
+pub(crate) fn infer_sharded<M: InferenceModel>(
+    model: &M,
+    scratches: &mut [PruneScratch],
+    images: &[&Tensor],
+    classes: usize,
+    logits: &mut [f32],
+    tokens_per_block: &mut [Vec<usize>],
+    macs: &mut [u64],
+) {
+    // The engine only fans out for 2+ workers; single-shard batches take
+    // the direct `run_shard` path in `infer_refs`.
+    debug_assert!(scratches.len() > 1);
+    let ranges = chunk_ranges(images.len(), scratches.len());
+    std::thread::scope(|scope| {
+        let mut logits_rest = logits;
+        let mut tokens_rest = tokens_per_block;
+        let mut macs_rest = macs;
+        let mut caller_shard = None;
+        for (range, scratch) in ranges.into_iter().zip(scratches.iter_mut()) {
+            let (shard_logits, rest) =
+                std::mem::take(&mut logits_rest).split_at_mut(range.len() * classes);
+            logits_rest = rest;
+            let (shard_tokens, rest) = std::mem::take(&mut tokens_rest).split_at_mut(range.len());
+            tokens_rest = rest;
+            let (shard_macs, rest) = std::mem::take(&mut macs_rest).split_at_mut(range.len());
+            macs_rest = rest;
+            let shard_images = &images[range];
+            if caller_shard.is_none() {
+                caller_shard = Some((
+                    scratch,
+                    shard_images,
+                    shard_logits,
+                    shard_tokens,
+                    shard_macs,
+                ));
+                continue;
+            }
+            scope.spawn(move || {
+                run_shard(
+                    model,
+                    scratch,
+                    shard_images,
+                    classes,
+                    shard_logits,
+                    shard_tokens,
+                    shard_macs,
+                )
+            });
+        }
+        if let Some((scratch, shard_images, shard_logits, shard_tokens, shard_macs)) = caller_shard
+        {
+            run_shard(
+                model,
+                scratch,
+                shard_images,
+                classes,
+                shard_logits,
+                shard_tokens,
+                shard_macs,
+            );
+        }
+    });
+}

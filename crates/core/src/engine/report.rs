@@ -1,0 +1,141 @@
+//! Result types of the batched engine: per-batch [`BatchOutput`] and the
+//! whole-epoch [`EngineReport`].
+
+use heatvit_tensor::Tensor;
+use std::time::Duration;
+
+/// Result of pushing one batch of images through an [`crate::Engine`].
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Stacked classification logits `[B, num_classes]`; row `i` is
+    /// bit-identical to the per-image `infer` logits of image `i`,
+    /// regardless of how many worker threads produced the batch.
+    pub logits: Tensor,
+    /// Per image: token count entering each encoder block.
+    pub tokens_per_block: Vec<Vec<usize>>,
+    /// Per image: multiply–accumulate estimate at actual token counts.
+    pub macs: Vec<u64>,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchOutput {
+    /// Number of images in the batch.
+    pub fn len(&self) -> usize {
+        self.macs.len()
+    }
+
+    /// `true` if the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.macs.is_empty()
+    }
+
+    /// Predicted class per image.
+    pub fn predictions(&self) -> Vec<usize> {
+        self.logits.argmax_rows()
+    }
+
+    /// Images per second over the batch's wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.len() as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Mean MAC count per image.
+    pub fn mean_macs(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.macs.iter().sum::<u64>() as f64 / self.len() as f64
+    }
+
+    /// Mean token count entering each block, averaged over the batch —
+    /// the "average kept tokens" curve of paper Fig. 4.
+    ///
+    /// Every image of a single model is expected to report the same depth
+    /// (debug-asserted); should rows ever disagree — say, outputs of
+    /// different models stitched into one `BatchOutput` — a short row only
+    /// contributes to its leading blocks while the divisor stays the batch
+    /// size, so no entry reads out of bounds.
+    pub fn mean_tokens_per_block(&self) -> Vec<f64> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let depth = self
+            .tokens_per_block
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        debug_assert!(
+            self.tokens_per_block.iter().all(|t| t.len() == depth),
+            "ragged per-image depths: {:?}",
+            self.tokens_per_block
+                .iter()
+                .map(Vec::len)
+                .collect::<Vec<_>>()
+        );
+        let mut sums = vec![0.0f64; depth];
+        for per_image in &self.tokens_per_block {
+            for (s, &n) in sums.iter_mut().zip(per_image.iter()) {
+                *s += n as f64;
+            }
+        }
+        for s in &mut sums {
+            *s /= self.len() as f64;
+        }
+        sums
+    }
+}
+
+/// Aggregate statistics of a whole-dataset run ([`crate::Engine::run_epoch`]).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Images processed.
+    pub images: usize,
+    /// Batches processed.
+    pub batches: usize,
+    /// Classification accuracy against the dataset labels.
+    pub accuracy: f32,
+    /// Images per second across all batches (inference time only).
+    pub images_per_sec: f64,
+    /// Mean MAC count per image.
+    pub mean_macs: f64,
+    /// Mean token count entering the final block.
+    pub mean_final_tokens: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output(tokens_per_block: Vec<Vec<usize>>) -> BatchOutput {
+        let batch = tokens_per_block.len();
+        BatchOutput {
+            logits: Tensor::zeros(&[batch.max(1), 2]),
+            tokens_per_block,
+            macs: vec![1; batch],
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn mean_tokens_averages_uniform_depths() {
+        let out = output(vec![vec![4, 3, 2], vec![4, 1, 2]]);
+        assert_eq!(out.mean_tokens_per_block(), vec![4.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_tokens_of_empty_batch_is_empty() {
+        assert!(output(Vec::new()).mean_tokens_per_block().is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "ragged per-image depths")]
+    fn mean_tokens_rejects_ragged_depths_in_debug() {
+        output(vec![vec![4, 3, 2], vec![4, 1]]).mean_tokens_per_block();
+    }
+}

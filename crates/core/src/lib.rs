@@ -15,10 +15,12 @@
 //!   `StaticPrunedViT`, and the int8 `QuantizedViT` (dense or adaptively
 //!   pruned): classify one image, report per-block token counts and a MAC
 //!   estimate (packed-DSP-equivalent for the int8 backend);
-//! * [`Engine`] — drives an `InferenceModel` over batches with a persistent
-//!   scratch workspace (no per-image allocation of activations, keep-masks,
-//!   or repacking buffers), producing [`BatchOutput`] with stacked logits
-//!   that are bit-identical to the per-image path;
+//! * [`Engine`] — drives an `InferenceModel` over batches with a pool of
+//!   persistent scratch workspaces (no per-image allocation of activations,
+//!   keep-masks, or repacking buffers), sharding each batch across
+//!   [`EngineConfig::threads`] scoped worker threads; the merged
+//!   [`BatchOutput`] logits are bit-identical to the per-image path at
+//!   every thread count;
 //! * [`Engine::run_epoch`] — the dataset-level harness reporting accuracy,
 //!   throughput, and mean cost per variant, the substrate for every
 //!   dense-vs-pruned comparison in the paper.
@@ -57,7 +59,7 @@
 mod engine;
 mod model;
 
-pub use engine::{BatchOutput, Engine, EngineReport};
+pub use engine::{BatchOutput, Engine, EngineConfig, EngineReport};
 pub use model::{InferenceModel, ModelOutput};
 
 // Re-export the workspace crates so `heatvit` works as a facade.

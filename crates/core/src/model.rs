@@ -27,9 +27,16 @@ pub struct ModelOutput {
 /// under a single harness — the comparison setup of paper Figs. 2 and 4
 /// extended with the Section V quantized backend.
 ///
+/// `Sync` is a supertrait: [`infer_one`](InferenceModel::infer_one) takes
+/// `&self`, and the sharded engine shares that reference across scoped
+/// worker threads (all mutable state lives in the per-worker
+/// [`PruneScratch`]). Every workspace model is plain owned data, so the
+/// bound costs implementors nothing.
+///
 /// The trait is object safe: heterogeneous model fleets can be held as
-/// `Box<dyn InferenceModel>`.
-pub trait InferenceModel {
+/// `Box<dyn InferenceModel>`, which implements the trait itself and can be
+/// driven by an [`crate::Engine`] directly.
+pub trait InferenceModel: Sync {
     /// Short human-readable variant name for report tables.
     fn variant(&self) -> &str;
 
@@ -44,6 +51,27 @@ pub trait InferenceModel {
     /// Multiply–accumulate count with the full token count in every block —
     /// the dense-cost baseline pruning is measured against.
     fn dense_macs(&self) -> u64;
+}
+
+/// Boxed (and boxed-trait-object) models are models too, so an
+/// `Engine<Box<dyn InferenceModel>>` can drive a fleet whose concrete
+/// variant is chosen at runtime.
+impl<M: InferenceModel + ?Sized> InferenceModel for Box<M> {
+    fn variant(&self) -> &str {
+        (**self).variant()
+    }
+
+    fn config(&self) -> &ViTConfig {
+        (**self).config()
+    }
+
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        (**self).infer_one(image, scratch)
+    }
+
+    fn dense_macs(&self) -> u64 {
+        (**self).dense_macs()
+    }
 }
 
 impl InferenceModel for VisionTransformer {

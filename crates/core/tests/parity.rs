@@ -1,9 +1,11 @@
 //! Batched-vs-single-image parity: `Engine::infer_batch` must be
 //! bit-identical to the per-image `infer` paths for every model variant,
-//! and pruning must be monotone across selector stages.
+//! the thread-sharded engine must be bit-identical to the sequential one at
+//! every worker count, and pruning must be monotone across selector stages.
 
 use heatvit::{Engine, InferenceModel};
 use heatvit_data::{Loader, SyntheticConfig, SyntheticDataset};
+use heatvit_quant::{QuantPruneStage, QuantizedViT};
 use heatvit_selector::{PrunedViT, StaticPrunedViT, StaticRule, StaticStage, TokenSelector};
 use heatvit_tensor::Tensor;
 use heatvit_vit::{ViTConfig, VisionTransformer};
@@ -40,6 +42,19 @@ fn static_pruned(rng: &mut StdRng) -> StaticPrunedViT {
         StaticRule::CliffAttention,
         0,
     )
+}
+
+fn quantized(rng: &mut StdRng) -> QuantizedViT {
+    QuantizedViT::from_float(&backbone(rng)).with_prune_stages(vec![
+        QuantPruneStage {
+            block: 2,
+            attn_frac: 0.9,
+        },
+        QuantPruneStage {
+            block: 4,
+            attn_frac: 0.9,
+        },
+    ])
 }
 
 fn images(rng: &mut StdRng, count: usize) -> Vec<Tensor> {
@@ -95,6 +110,110 @@ fn static_pruned_batch_is_bitwise_identical_to_single() {
     let imgs = images(&mut rng, 5);
     let single: Vec<Tensor> = imgs.iter().map(|im| model.infer(im).logits).collect();
     assert_batch_matches_single(model, &single, &imgs);
+}
+
+/// Asserts that the thread-sharded engine reproduces the sequential
+/// engine's `logits`, `tokens_per_block`, and `macs` bitwise at every
+/// tested worker count — including more workers than images.
+///
+/// `build` must be deterministic (each call returns an identical model) so
+/// every engine runs the same weights.
+fn assert_parallel_matches_sequential<M: InferenceModel>(build: impl Fn() -> M, images: &[Tensor]) {
+    let sequential = Engine::new(build()).infer_batch(images);
+    for threads in [1, 2, 3] {
+        let mut engine = Engine::with_threads(build(), threads);
+        let parallel = engine.infer_batch(images);
+        let variant = engine.model().variant();
+        assert_eq!(parallel.logits.dims(), sequential.logits.dims());
+        assert_eq!(
+            parallel.logits.data(),
+            sequential.logits.data(),
+            "{variant}: sharded logits diverge at {threads} threads"
+        );
+        assert_eq!(
+            parallel.tokens_per_block, sequential.tokens_per_block,
+            "{variant}: sharded token counts diverge at {threads} threads"
+        );
+        assert_eq!(
+            parallel.macs, sequential.macs,
+            "{variant}: sharded MACs diverge at {threads} threads"
+        );
+        // A warm re-run through the same worker pool must also be stable.
+        let again = engine.infer_batch(images);
+        assert_eq!(again.logits.data(), sequential.logits.data());
+    }
+}
+
+#[test]
+fn parallel_dense_matches_sequential_bitwise() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let imgs = images(&mut rng, 5);
+    assert_parallel_matches_sequential(|| backbone(&mut StdRng::seed_from_u64(7)), &imgs);
+}
+
+#[test]
+fn parallel_adaptive_pruned_matches_sequential_bitwise() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let imgs = images(&mut rng, 5);
+    assert_parallel_matches_sequential(|| pruned(&mut StdRng::seed_from_u64(8)), &imgs);
+}
+
+#[test]
+fn parallel_static_pruned_matches_sequential_bitwise() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let imgs = images(&mut rng, 5);
+    assert_parallel_matches_sequential(|| static_pruned(&mut StdRng::seed_from_u64(9)), &imgs);
+}
+
+#[test]
+fn parallel_int8_matches_sequential_bitwise() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let imgs = images(&mut rng, 5);
+    assert_parallel_matches_sequential(|| quantized(&mut StdRng::seed_from_u64(13)), &imgs);
+}
+
+#[test]
+fn parallel_handles_batches_smaller_than_the_pool() {
+    let mut rng = StdRng::seed_from_u64(24);
+    // 2 images across 3 workers: one worker idles, outputs still bitwise.
+    let imgs = images(&mut rng, 2);
+    assert_parallel_matches_sequential(|| pruned(&mut StdRng::seed_from_u64(8)), &imgs);
+}
+
+#[test]
+fn parallel_handles_an_empty_batch() {
+    let mut rng = StdRng::seed_from_u64(25);
+    let mut engine = Engine::with_threads(backbone(&mut rng), 3);
+    let out = engine.infer_batch(&[]);
+    assert!(out.is_empty());
+    assert_eq!(out.logits.dims(), &[0, 4]);
+    assert!(out.tokens_per_block.is_empty());
+    assert!(out.macs.is_empty());
+    assert!(out.mean_tokens_per_block().is_empty());
+    assert_eq!(out.throughput(), 0.0);
+}
+
+#[test]
+fn parallel_run_epoch_matches_sequential_statistics() {
+    let dataset = SyntheticDataset::generate(SyntheticConfig::micro(), 10, 1);
+    let loader = Loader::new(&dataset, 4, false, 0);
+    let seq = Engine::new(pruned(&mut StdRng::seed_from_u64(8))).run_epoch(&loader, 0);
+    let par = Engine::with_threads(pruned(&mut StdRng::seed_from_u64(8)), 3).run_epoch(&loader, 0);
+    assert_eq!(par.images, seq.images);
+    assert_eq!(par.batches, seq.batches);
+    assert_eq!(par.accuracy, seq.accuracy);
+    assert_eq!(par.mean_macs, seq.mean_macs);
+    assert_eq!(par.mean_final_tokens, seq.mean_final_tokens);
+}
+
+#[test]
+fn boxed_models_run_under_the_engine() {
+    let model: Box<dyn InferenceModel> = Box::new(pruned(&mut StdRng::seed_from_u64(8)));
+    let imgs = images(&mut StdRng::seed_from_u64(26), 4);
+    let boxed = Engine::with_threads(model, 2).infer_batch(&imgs);
+    let direct = Engine::new(pruned(&mut StdRng::seed_from_u64(8))).infer_batch(&imgs);
+    assert_eq!(boxed.logits.data(), direct.logits.data());
+    assert_eq!(boxed.macs, direct.macs);
 }
 
 #[test]

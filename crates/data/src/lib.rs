@@ -35,5 +35,5 @@ pub mod augment;
 mod loader;
 mod synthetic;
 
-pub use loader::{Batch, Loader};
+pub use loader::{chunk_ranges, Batch, Loader};
 pub use synthetic::{generate_sample, Sample, ShapeFamily, SyntheticConfig, SyntheticDataset};

@@ -1,9 +1,53 @@
-//! Mini-batch iteration with optional shuffling.
+//! Mini-batch iteration with optional shuffling, plus the range-chunking
+//! helper that shards a batch across engine worker threads.
 
 use crate::synthetic::{Sample, SyntheticDataset};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::ops::Range;
+
+/// Splits `0..len` into at most `parts` contiguous, disjoint index ranges of
+/// near-equal size, in order: the first `len % parts` ranges carry one extra
+/// index. Every index is covered exactly once and no returned range is empty,
+/// so when `len < parts` only `len` ranges come back (and an empty input
+/// yields no ranges at all).
+///
+/// This is the shard map the parallel engine uses to fan a loader batch out
+/// over worker threads: because the ranges are a pure function of `(len,
+/// parts)`, a sharded batch writes each image's results into the same slot
+/// the sequential path would.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit_data::chunk_ranges;
+///
+/// assert_eq!(chunk_ranges(7, 3), vec![0..3, 3..5, 5..7]);
+/// assert_eq!(chunk_ranges(2, 4), vec![0..1, 1..2]);
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "parts must be positive");
+    let parts = parts.min(len);
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let hi = lo + base + usize::from(i < extra);
+        ranges.push(lo..hi);
+        lo = hi;
+    }
+    ranges
+}
 
 /// A mini-batch of borrowed samples.
 #[derive(Debug)]
@@ -142,5 +186,41 @@ mod tests {
         let a: Vec<Vec<usize>> = loader.iter_epoch(4).map(|b| b.labels()).collect();
         let b: Vec<Vec<usize>> = loader.iter_epoch(4).map(|b| b.labels()).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_every_index_once_and_balance() {
+        for len in 0..40 {
+            for parts in 1..9 {
+                let ranges = chunk_ranges(len, parts);
+                assert_eq!(ranges.len(), parts.min(len));
+                // Contiguous, in-order, non-empty cover of 0..len.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(
+                        r.end > r.start,
+                        "empty range {r:?} for len={len} parts={parts}"
+                    );
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), len);
+                // Balanced: sizes differ by at most one, larger chunks first.
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(|r| r.len()).max(),
+                    ranges.iter().map(|r| r.len()).min(),
+                ) {
+                    assert!(max - min <= 1);
+                    assert_eq!(ranges.first().map(|r| r.len()), Some(max));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parts must be positive")]
+    fn chunk_ranges_rejects_zero_parts() {
+        chunk_ranges(4, 0);
     }
 }

@@ -60,3 +60,11 @@ pub struct QuantScratch {
     /// Mean class-token attention per patch token from the previous block.
     pub(crate) cls_attn: Vec<f32>,
 }
+
+// Each engine worker thread owns one scratch (inside its `PruneScratch`); a
+// future non-`Send` field must fail to build here, not at the distant
+// thread-spawn site.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<QuantScratch>();
+};

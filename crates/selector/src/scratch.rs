@@ -47,3 +47,10 @@ pub struct PruneScratch {
     /// Staging buffer for the post-repack `origin` mapping.
     pub(crate) new_origin: Vec<Option<usize>>,
 }
+
+// Each engine worker thread owns one scratch; a future non-`Send` field must
+// fail to build here, not at the distant thread-spawn site.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<PruneScratch>();
+};

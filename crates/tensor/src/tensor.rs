@@ -26,6 +26,14 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+// The parallel engine shares `&Tensor` across worker threads and moves owned
+// tensors between them; a future `Rc`/raw-pointer field must fail to build
+// here, not at the distant thread-spawn site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Tensor>();
+};
+
 impl Tensor {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(dims: &[usize]) -> Self {

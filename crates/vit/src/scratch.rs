@@ -46,3 +46,10 @@ pub struct InferScratch {
     /// FFN output `[N, D]`.
     pub(crate) ffn_out: Tensor,
 }
+
+// Each engine worker thread owns one scratch; a future non-`Send` field must
+// fail to build here, not at the distant thread-spawn site.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<InferScratch>();
+};
