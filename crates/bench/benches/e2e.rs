@@ -1,40 +1,18 @@
-//! End-to-end engine throughput: dense vs. pruned variants on one batch.
+//! End-to-end engine throughput: every [`BackendKind`] on one batch,
+//! driven through the type-erased `Engine<Backend>`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use heatvit::Engine;
-use heatvit_bench::{
-    adaptive_pruned, micro_backbone, quantized_adaptive, quantized_dense, static_pruned,
-    synthetic_batch,
-};
+use heatvit::{BackendKind, Engine};
+use heatvit_bench::{build_backend, synthetic_batch};
 
 fn bench_engine_variants(c: &mut Criterion) {
     let images = synthetic_batch(4, 0);
-
-    let mut dense = Engine::new(micro_backbone(0));
-    c.bench_function("e2e/dense micro batch=4", |b| {
-        b.iter(|| dense.infer_batch(black_box(&images)))
-    });
-
-    let mut adaptive = Engine::new(adaptive_pruned(micro_backbone(0), 0));
-    c.bench_function("e2e/adaptive-pruned micro batch=4", |b| {
-        b.iter(|| adaptive.infer_batch(black_box(&images)))
-    });
-
-    let mut fixed = Engine::new(static_pruned(micro_backbone(0)));
-    c.bench_function("e2e/static-pruned micro batch=4", |b| {
-        b.iter(|| fixed.infer_batch(black_box(&images)))
-    });
-
-    let backbone = micro_backbone(0);
-    let mut int8_dense = Engine::new(quantized_dense(&backbone));
-    c.bench_function("e2e/int8-dense micro batch=4", |b| {
-        b.iter(|| int8_dense.infer_batch(black_box(&images)))
-    });
-
-    let mut int8_adaptive = Engine::new(quantized_adaptive(&backbone));
-    c.bench_function("e2e/int8-adaptive micro batch=4", |b| {
-        b.iter(|| int8_adaptive.infer_batch(black_box(&images)))
-    });
+    for kind in BackendKind::ALL {
+        let engine = Engine::builder(build_backend(kind)).build();
+        c.bench_function(&format!("e2e/{kind} micro batch=4"), |b| {
+            b.iter(|| engine.infer_batch(black_box(&images)))
+        });
+    }
 }
 
 criterion_group!(benches, bench_engine_variants);

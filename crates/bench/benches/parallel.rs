@@ -1,46 +1,36 @@
 //! Thread-scaling of the sharded engine: the same batch pushed through
-//! worker pools of 1, 2, 4, and 8 threads for each of the four backends
-//! (dense, adaptive-pruned, static-pruned, int8-adaptive). Outputs are
-//! bitwise identical across the sweep — only the wall clock moves.
+//! worker pools of 1, 2, 4, and 8 threads for each backend kind. Outputs
+//! are bitwise identical across the sweep — only the wall clock moves.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use heatvit::{Engine, InferenceModel};
-use heatvit_bench::{
-    adaptive_pruned, micro_backbone, quantized_adaptive, static_pruned, synthetic_batch,
-};
-use heatvit_tensor::Tensor;
+use heatvit::{BackendKind, Engine};
+use heatvit_bench::{build_backend, synthetic_batch};
 
 const BATCH: usize = 16;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-/// One backend's sweep: a fresh engine per pool size, same images throughout.
-fn sweep<M: InferenceModel>(
-    c: &mut Criterion,
-    name: &str,
-    build: impl Fn() -> M,
-    images: &[Tensor],
-) {
-    for &threads in &THREADS {
-        let mut engine = Engine::with_threads(build(), threads);
-        c.bench_function(
-            &format!("parallel/{name} batch={BATCH} threads={threads}"),
-            |b| b.iter(|| engine.infer_batch(black_box(images))),
-        );
-    }
-}
+/// The four distinct execution pipelines; the int8-dense kind shares the
+/// int8-adaptive code path, so it adds no scaling information.
+const KINDS: [BackendKind; 4] = [
+    BackendKind::Dense,
+    BackendKind::AdaptivePruned,
+    BackendKind::StaticPruned,
+    BackendKind::Int8Adaptive,
+];
 
 fn bench_parallel_engine(c: &mut Criterion) {
     let images = synthetic_batch(BATCH, 0);
-    sweep(c, "dense", || micro_backbone(0), &images);
-    sweep(
-        c,
-        "adaptive",
-        || adaptive_pruned(micro_backbone(0), 0),
-        &images,
-    );
-    sweep(c, "static", || static_pruned(micro_backbone(0)), &images);
-    let backbone = micro_backbone(0);
-    sweep(c, "int8", || quantized_adaptive(&backbone), &images);
+    for kind in KINDS {
+        for threads in THREADS {
+            let engine = Engine::builder(build_backend(kind))
+                .threads(threads)
+                .build();
+            c.bench_function(
+                &format!("parallel/{kind} batch={BATCH} threads={threads}"),
+                |b| b.iter(|| engine.infer_batch(black_box(&images))),
+            );
+        }
+    }
 }
 
 criterion_group!(benches, bench_parallel_engine);

@@ -1,7 +1,8 @@
-//! The variant throughput table: dense vs. adaptive-pruned vs.
-//! static-pruned vs. int8-quantized (dense and adaptive), one
-//! `heatvit::Engine` per variant over the same synthetic batch, measured
-//! sequentially and sharded across a 4-thread worker pool.
+//! The variant throughput table: every [`BackendKind`] (dense,
+//! adaptive-pruned, static-pruned, int8-dense, int8-adaptive) driven as a
+//! type-erased `Engine<Backend>` over the same synthetic batch, measured
+//! sequentially and sharded across a 4-thread worker pool. One measurement
+//! loop, five rows — no per-backend code.
 //!
 //! ```text
 //! cargo run --release -p heatvit-bench --bin run_all [-- --quick]
@@ -18,11 +19,8 @@
 //! and must agree with the float dense model on ≥95 % of top-1 predictions
 //! — all asserted, not just printed.
 
-use heatvit::{Engine, InferenceModel};
-use heatvit_bench::{
-    adaptive_pruned, micro_backbone, quantized_adaptive, quantized_dense, static_pruned,
-    synthetic_batch,
-};
+use heatvit::{BackendKind, Engine, InferenceModel};
+use heatvit_bench::{build_backend, synthetic_batch};
 use heatvit_tensor::Tensor;
 
 const DEFAULT_BATCH: usize = 32;
@@ -43,7 +41,7 @@ fn allowed_mismatches(batch: usize) -> usize {
 }
 
 struct Row {
-    variant: String,
+    kind: BackendKind,
     throughput: f64,
     throughput_par: f64,
     ms_per_image: f64,
@@ -75,9 +73,13 @@ fn batch_size() -> usize {
     }
 }
 
-fn measure<M: InferenceModel>(model: M, images: &[Tensor]) -> Row {
-    let dense_macs = model.dense_macs() as f64;
-    let mut engine = Engine::new(model);
+/// One kind's row: the type-erased backend measured sequentially and
+/// through the 4-thread shard, with batched/single and sharded/sequential
+/// parity asserted before either number is reported.
+fn measure(kind: BackendKind, images: &[Tensor]) -> Row {
+    let model = build_backend(kind);
+    let dense_macs = InferenceModel::dense_macs(&model) as f64;
+    let engine = Engine::builder(model).build();
 
     // Parity gate: every batched row must equal the per-image path bitwise.
     let probe = engine.infer_batch(&images[..4.min(images.len())]);
@@ -86,8 +88,7 @@ fn measure<M: InferenceModel>(model: M, images: &[Tensor]) -> Row {
         assert_eq!(
             probe.logits.row(i),
             single.logits.data(),
-            "batched/single divergence in {}",
-            engine.model().variant()
+            "batched/single divergence in {kind}"
         );
     }
 
@@ -98,8 +99,9 @@ fn measure<M: InferenceModel>(model: M, images: &[Tensor]) -> Row {
 
     // The sharded engine must merge to the exact sequential bits before its
     // throughput is worth reporting; it reuses the same model instance.
-    let variant = engine.model().variant().to_string();
-    let mut par_engine = Engine::with_threads(engine.into_model(), PAR_THREADS);
+    let par_engine = Engine::builder(engine.into_model())
+        .threads(PAR_THREADS)
+        .build();
     for _ in 0..WARMUP_BATCHES {
         par_engine.infer_batch(images);
     }
@@ -107,12 +109,12 @@ fn measure<M: InferenceModel>(model: M, images: &[Tensor]) -> Row {
     assert_eq!(
         par_out.logits.data(),
         out.logits.data(),
-        "sharded/sequential divergence in {variant}"
+        "sharded/sequential divergence in {kind}"
     );
     assert_eq!(par_out.macs, out.macs);
 
     Row {
-        variant,
+        kind,
         throughput: out.throughput(),
         throughput_par: par_out.throughput(),
         ms_per_image: out.elapsed.as_secs_f64() * 1e3 / out.len() as f64,
@@ -135,21 +137,25 @@ fn agreement(row: &Row, reference: &Row) -> f64 {
 
 fn main() {
     let images = synthetic_batch(batch_size(), 0);
-    let cores = heatvit::EngineConfig::auto().threads;
+    let cores = heatvit::EngineConfig::auto().threads.resolve();
     println!(
         "heatvit run_all: micro backbone, {} synthetic 32x32 images per batch, \
          {PAR_THREADS}-thread shard on {cores} hardware thread(s)\n",
         images.len()
     );
 
-    let backbone = micro_backbone(0);
-    let rows = [
-        measure(micro_backbone(0), &images),
-        measure(adaptive_pruned(micro_backbone(0), 0), &images),
-        measure(static_pruned(micro_backbone(0)), &images),
-        measure(quantized_dense(&backbone), &images),
-        measure(quantized_adaptive(&backbone), &images),
-    ];
+    // The table rows ARE the kind registry: adding a backend to
+    // `BackendKind::ALL` adds its row here with no further changes.
+    let rows: Vec<Row> = BackendKind::ALL
+        .into_iter()
+        .map(|kind| measure(kind, &images))
+        .collect();
+    let reference = &rows[0];
+    assert_eq!(
+        reference.kind,
+        BackendKind::Dense,
+        "BackendKind::ALL must lead with the dense agreement reference"
+    );
 
     println!(
         "{:<18} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12} {:>14} {:>12}",
@@ -165,10 +171,10 @@ fn main() {
     );
     println!("{}", "-".repeat(120));
     for r in &rows {
-        let agree = agreement(r, &rows[0]);
+        let agree = agreement(r, reference);
         println!(
             "{:<18} {:>12.1} {:>12.1} {:>9.2}x {:>10.3} {:>12.2} {:>11.2}x {:>14.1} {:>11.1}%",
-            r.variant,
+            r.kind.label(),
             r.throughput,
             r.throughput_par,
             r.thread_scaling(),
@@ -178,19 +184,19 @@ fn main() {
             r.final_tokens,
             agree * 100.0
         );
-        if r.variant.starts_with("int8") {
+        if r.kind.is_quantized() {
             let mismatches = r
                 .predictions
                 .iter()
-                .zip(rows[0].predictions.iter())
+                .zip(reference.predictions.iter())
                 .filter(|(a, b)| a != b)
                 .count();
-            let allowed = allowed_mismatches(rows[0].predictions.len());
+            let allowed = allowed_mismatches(reference.predictions.len());
             assert!(
                 mismatches <= allowed,
                 "{}: {mismatches} top-1 disagreements vs. float dense exceed the \
                  {INT8_MIN_AGREEMENT} gate's budget of {allowed}",
-                r.variant
+                r.kind
             );
         }
     }
@@ -211,7 +217,7 @@ fn main() {
             "note: only {cores} hardware thread(s) available — the threads-x column cannot \
              show real scaling on this machine"
         );
-    } else if let Some(adaptive) = rows.iter().find(|r| r.variant == "adaptive-pruned") {
+    } else if let Some(adaptive) = rows.iter().find(|r| r.kind == BackendKind::AdaptivePruned) {
         // The ROADMAP target is measurable here; flag (non-fatally — wall
         // clocks flake) if sharding fails to deliver it.
         if adaptive.thread_scaling() < 1.5 {

@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+use heatvit::{Backend, BackendKind};
 use heatvit_data::{SyntheticConfig, SyntheticDataset};
 use heatvit_quant::{QuantPruneStage, QuantizedViT};
 use heatvit_selector::{PrunedViT, StaticPrunedViT, StaticRule, StaticStage, TokenSelector};
@@ -88,6 +89,25 @@ pub fn quantized_adaptive(backbone: &VisionTransformer) -> QuantizedViT {
     model
 }
 
+/// The canonical benchmark fixture for a [`BackendKind`]: the micro
+/// backbone (seed 0) wrapped in the kind's pruning/quantization
+/// configuration, type-erased into a [`Backend`] handle.
+///
+/// Every kind shares the same backbone weights, so cross-backend rows in
+/// `run_all`/`serve_demo` compare pruning and quantization policy, not
+/// initialization luck. Deterministic: two calls build bit-identical
+/// models.
+pub fn build_backend(kind: BackendKind) -> Backend {
+    let backbone = micro_backbone(0);
+    match kind {
+        BackendKind::Dense => Backend::from(backbone),
+        BackendKind::AdaptivePruned => Backend::from(adaptive_pruned(backbone, 0)),
+        BackendKind::StaticPruned => Backend::from(static_pruned(backbone)),
+        BackendKind::Int8Dense => Backend::from(quantized_dense(&backbone)),
+        BackendKind::Int8Adaptive => Backend::from(quantized_adaptive(&backbone)),
+    }
+}
+
 /// A batch of synthetic 32×32 images matching the micro config.
 pub fn synthetic_batch(count: usize, seed: u64) -> Vec<Tensor> {
     SyntheticDataset::generate(SyntheticConfig::micro(), count, seed)
@@ -120,6 +140,22 @@ mod tests {
 
         let stat = static_pruned(b);
         assert_eq!(stat.infer(img).tokens_per_block.len(), 6);
+    }
+
+    #[test]
+    fn build_backend_registers_every_kind_under_its_label() {
+        use heatvit::InferenceModel;
+        for kind in BackendKind::ALL {
+            let backend = build_backend(kind);
+            assert_eq!(backend.kind(), kind);
+            assert_eq!(backend.variant(), kind.label());
+        }
+        // Same weights per kind: two builds are bit-identical.
+        let img = &synthetic_batch(1, 5)[0];
+        let mut scratch = heatvit_selector::PruneScratch::default();
+        let a = build_backend(BackendKind::AdaptivePruned).infer_one(img, &mut scratch);
+        let b = build_backend(BackendKind::AdaptivePruned).infer_one(img, &mut scratch);
+        assert_eq!(a.logits.data(), b.logits.data());
     }
 
     #[test]

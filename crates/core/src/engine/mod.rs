@@ -1,7 +1,9 @@
-//! The batched inference [`Engine`]: sequential core, thread-sharded
+//! The batched inference [`Engine`]: builder-configured, shared-reference
+//! hot path over a scratch checkout pool ([`pool`]), thread-sharded
 //! execution ([`parallel`]), and result types ([`report`]).
 
 mod parallel;
+mod pool;
 mod report;
 
 pub use report::{BatchOutput, EngineReport};
@@ -9,61 +11,190 @@ pub use report::{BatchOutput, EngineReport};
 use crate::model::{InferenceModel, ModelOutput};
 use heatvit_data::{Batch, Loader};
 use heatvit_nn::accuracy;
-use heatvit_selector::PruneScratch;
 use heatvit_tensor::Tensor;
+use pool::ScratchPool;
 use std::time::{Duration, Instant};
 
+/// Upper clamp applied when [`ThreadCount::Auto`] resolves: even on very
+/// wide machines the engine never auto-sizes past this many workers per
+/// batch (micro-model shards stop amortizing thread-spawn cost long before;
+/// an explicit [`ThreadCount::Fixed`] can still go higher deliberately).
+pub const MAX_AUTO_THREADS: usize = 64;
+
+/// Worker-count policy of an [`EngineConfig`].
+///
+/// `Auto` is *deferred*: the hardware is queried when an engine is built
+/// ([`EngineBuilder::build`]), not when the configuration value is created,
+/// so a config constructed on one machine (or serialized into a job spec)
+/// resolves against the machine that actually runs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadCount {
+    /// Resolve to [`std::thread::available_parallelism`] at engine build
+    /// time, clamped to `1..=`[`MAX_AUTO_THREADS`] (falling back to 1 when
+    /// parallelism cannot be queried).
+    Auto,
+    /// Exactly this many workers. Must be positive.
+    Fixed(usize),
+}
+
+impl ThreadCount {
+    /// Resolves the policy to a concrete worker count on *this* machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Fixed(0)`.
+    pub fn resolve(self) -> usize {
+        match self {
+            ThreadCount::Auto => {
+                resolve_auto(std::thread::available_parallelism().ok().map(|n| n.get()))
+            }
+            ThreadCount::Fixed(n) => {
+                assert!(n > 0, "engine thread count must be positive");
+                n
+            }
+        }
+    }
+}
+
+/// The pure clamp behind [`ThreadCount::Auto`]: `None` (parallelism not
+/// queryable) falls back to a single worker; any reported width is clamped
+/// to `1..=`[`MAX_AUTO_THREADS`].
+fn resolve_auto(available: Option<usize>) -> usize {
+    available.unwrap_or(1).clamp(1, MAX_AUTO_THREADS)
+}
+
 /// Execution configuration of an [`Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EngineConfig {
-    /// Worker threads used to shard each batch. `1` (the default) runs the
-    /// classic sequential path; higher values fan disjoint index ranges out
-    /// over `std::thread::scope` workers, one [`PruneScratch`] per worker.
+    /// Worker policy used to shard each batch. A resolved count of `1` runs
+    /// the classic sequential path; higher values fan disjoint index ranges
+    /// out over `std::thread::scope` workers, one scratch per worker.
     /// Outputs are bitwise identical at every setting.
-    pub threads: usize,
+    pub threads: ThreadCount,
 }
 
 impl EngineConfig {
-    /// A configuration running `threads` workers per batch.
+    /// A configuration running exactly `threads` workers per batch.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads > 0, "engine thread count must be positive");
-        Self { threads }
+        Self {
+            threads: ThreadCount::Fixed(threads),
+        }
     }
 
-    /// A configuration sized to the machine: one worker per available
-    /// hardware thread (falling back to 1 when parallelism cannot be
-    /// queried).
+    /// A configuration sized to whatever machine eventually builds the
+    /// engine: [`ThreadCount::Auto`], resolved against
+    /// `std::thread::available_parallelism` at [`EngineBuilder::build`]
+    /// time (clamped to `1..=`[`MAX_AUTO_THREADS`], 1-worker fallback when
+    /// the query fails).
     pub fn auto() -> Self {
         Self {
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: ThreadCount::Auto,
         }
     }
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: ThreadCount::Fixed(1),
+        }
     }
 }
 
-/// A batched inference engine: one model variant plus a pool of persistent
-/// scratch workspaces, one per worker thread.
+/// Step-by-step construction of an [`Engine`], replacing the former
+/// `new`/`with_threads`/`with_config` constructor sprawl.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit::{Engine, EngineConfig};
+/// use heatvit_vit::{ViTConfig, VisionTransformer};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
+/// let engine = Engine::builder(model).threads(2).build();
+/// assert_eq!(engine.threads(), 2);
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder<M: InferenceModel> {
+    model: M,
+    config: EngineConfig,
+}
+
+impl<M: InferenceModel> EngineBuilder<M> {
+    /// Starts a builder over `model` with the default single-worker config.
+    pub fn new(model: M) -> Self {
+        Self {
+            model,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Uses exactly `threads` workers per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config = EngineConfig::with_threads(threads);
+        self
+    }
+
+    /// Sizes the worker pool to the building machine (deferred
+    /// [`ThreadCount::Auto`] resolution — see [`EngineConfig::auto`]).
+    pub fn auto_threads(mut self) -> Self {
+        self.config = EngineConfig::auto();
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the engine, resolving [`ThreadCount::Auto`] against this
+    /// machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fixes a zero thread count.
+    pub fn build(self) -> Engine<M> {
+        let threads = self.config.threads.resolve();
+        Engine {
+            model: self.model,
+            config: self.config,
+            threads,
+            pool: ScratchPool::default(),
+        }
+    }
+}
+
+/// A batched inference engine: one model variant plus a checkout pool of
+/// persistent scratch workspaces.
 ///
 /// The engine amortizes dispatch over a batch — activation, repacking, and
-/// keep-mask buffers are allocated once and reused for every image — and
-/// reports throughput alongside the per-image cost model. With
-/// [`EngineConfig::threads`] ` > 1` each batch is sharded into disjoint
-/// index ranges executed by scoped worker threads that share the model
-/// immutably and own one scratch each; every image writes its results into
-/// the slot preassigned by its batch index, so batched outputs are bitwise
-/// identical to the sequential per-image path at any thread count. Because
-/// every variant implements [`InferenceModel`] through its own bit-exact
-/// `infer` arithmetic, engine outputs are directly comparable across dense,
+/// keep-mask buffers are checked out of a warm pool and reused for every
+/// image — and reports throughput alongside the per-image cost model. With
+/// a resolved worker count `> 1` each batch is sharded into disjoint index
+/// ranges executed by scoped worker threads that share the model immutably
+/// and own one scratch each; every image writes its results into the slot
+/// preassigned by its batch index, so batched outputs are bitwise identical
+/// to the sequential per-image path at any thread count. Because every
+/// variant implements [`InferenceModel`] through its own bit-exact `infer`
+/// arithmetic, engine outputs are directly comparable across dense,
 /// adaptive-pruned, static-pruned, and int8-quantized models.
+///
+/// Every inference entry point takes `&self`: scratch state lives in the
+/// pool, not behind a mutable borrow, so one engine can serve concurrent
+/// submitters (each in-flight batch checks out its own workspaces). This is
+/// the substrate the `heatvit-serve` dynamic batcher fans requests into.
 ///
 /// # Examples
 ///
@@ -78,8 +209,8 @@ impl Default for EngineConfig {
 /// let images: Vec<Tensor> = (0..3)
 ///     .map(|_| Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng))
 ///     .collect();
-/// let mut engine = Engine::with_threads(model, 2);
-/// let out = engine.infer_batch(&images);
+/// let engine = Engine::builder(model).threads(2).build();
+/// let out = engine.infer_batch(&images); // note: &engine, not &mut
 /// assert_eq!(out.logits.dims(), &[3, 4]);
 /// // Sharded logits match the per-image path bitwise.
 /// let single = engine.model().infer(&images[1]);
@@ -89,15 +220,22 @@ impl Default for EngineConfig {
 pub struct Engine<M: InferenceModel> {
     model: M,
     config: EngineConfig,
-    /// One scratch per worker; `scratches[0]` also serves the sequential
-    /// paths ([`Engine::infer_one`], single-thread batches).
-    scratches: Vec<PruneScratch>,
+    /// `config.threads` resolved at build time.
+    threads: usize,
+    /// Warm scratch workspaces, checked out per batch (`threads` retained).
+    pool: ScratchPool,
 }
 
 impl<M: InferenceModel> Engine<M> {
+    /// Starts an [`EngineBuilder`] over `model`.
+    pub fn builder(model: M) -> EngineBuilder<M> {
+        EngineBuilder::new(model)
+    }
+
     /// Wraps a model with a fresh single-threaded workspace.
+    #[deprecated(note = "use `Engine::builder(model).build()`")]
     pub fn new(model: M) -> Self {
-        Self::with_config(model, EngineConfig::default())
+        EngineBuilder::new(model).build()
     }
 
     /// Wraps a model with a pool of `threads` worker scratches.
@@ -105,38 +243,40 @@ impl<M: InferenceModel> Engine<M> {
     /// # Panics
     ///
     /// Panics if `threads == 0`.
+    #[deprecated(note = "use `Engine::builder(model).threads(n).build()`")]
     pub fn with_threads(model: M, threads: usize) -> Self {
-        Self::with_config(model, EngineConfig::with_threads(threads))
+        EngineBuilder::new(model).threads(threads).build()
     }
 
     /// Wraps a model under an explicit [`EngineConfig`].
     ///
     /// # Panics
     ///
-    /// Panics if `config.threads == 0` (reachable because the field is
-    /// public; the constructors can't be bypassed into a zero-width pool).
+    /// Panics if the configuration fixes a zero thread count.
+    #[deprecated(note = "use `Engine::builder(model).config(config).build()`")]
     pub fn with_config(model: M, config: EngineConfig) -> Self {
-        assert!(config.threads > 0, "engine thread count must be positive");
-        Self {
-            model,
-            config,
-            scratches: vec![PruneScratch::default(); config.threads],
-        }
+        EngineBuilder::new(model).config(config).build()
     }
 
-    /// The active execution configuration.
+    /// The active execution configuration (as built).
     pub fn config(&self) -> EngineConfig {
         self.config
     }
 
-    /// Resizes the worker pool in place, keeping already-warm scratches.
+    /// The resolved worker count ([`ThreadCount::Auto`] already applied).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reconfigures the worker count in place. Warm scratches beyond the
+    /// new retention cap are released lazily at the next check-in.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn set_threads(&mut self, threads: usize) {
         self.config = EngineConfig::with_threads(threads);
-        self.scratches.resize_with(threads, PruneScratch::default);
+        self.threads = threads;
     }
 
     /// The wrapped model.
@@ -154,48 +294,52 @@ impl<M: InferenceModel> Engine<M> {
         self.model
     }
 
-    /// Classifies one image through the shared scratch workspace.
-    pub fn infer_one(&mut self, image: &Tensor) -> ModelOutput {
-        self.model.infer_one(image, &mut self.scratches[0])
+    /// Classifies one image through a checked-out scratch workspace.
+    pub fn infer_one(&self, image: &Tensor) -> ModelOutput {
+        let mut scratches = self.pool.checkout(1);
+        let out = self.model.infer_one(image, &mut scratches[0]);
+        self.pool.checkin(scratches, self.threads);
+        out
     }
 
     /// Pushes a batch of images through the model, sharding it across the
-    /// configured worker threads (sequentially when `threads == 1`). Each
-    /// worker reuses its own scratch workspace across its whole shard.
-    pub fn infer_batch(&mut self, images: &[Tensor]) -> BatchOutput {
+    /// configured worker threads (sequentially when the resolved count is
+    /// 1). Each worker reuses its own scratch workspace across its whole
+    /// shard.
+    pub fn infer_batch(&self, images: &[Tensor]) -> BatchOutput {
         self.infer_batch_iter(images.iter())
     }
 
     /// [`Engine::infer_batch`] over any iterator of borrowed images (used
-    /// directly by the loader integration, whose batches hold `&Sample`).
+    /// directly by the loader integration, whose batches hold `&Sample`,
+    /// and by the serving batcher, whose pending queue owns its tensors).
     ///
     /// The iterator is drained into a reference buffer up front so shards
     /// can index the batch (a handful of pointers — negligible next to one
     /// image's inference); the reported `elapsed` includes that drain.
-    pub fn infer_batch_iter<'a>(
-        &mut self,
-        images: impl Iterator<Item = &'a Tensor>,
-    ) -> BatchOutput {
+    pub fn infer_batch_iter<'a>(&self, images: impl Iterator<Item = &'a Tensor>) -> BatchOutput {
         let start = Instant::now();
         let refs: Vec<&Tensor> = images.collect();
         self.infer_refs(&refs, start)
     }
 
-    /// The shared batch core: preallocates one output slot per image, then
-    /// runs the whole batch as one shard (sequential) or fans disjoint
-    /// ranges out over scoped threads. Both paths execute
-    /// [`parallel::run_shard`], so their outputs are bit-identical.
-    fn infer_refs(&mut self, images: &[&Tensor], start: Instant) -> BatchOutput {
+    /// The shared batch core: preallocates one output slot per image, checks
+    /// out one scratch per active worker, then runs the whole batch as one
+    /// shard (sequential) or fans disjoint ranges out over scoped threads.
+    /// Both paths execute [`parallel::run_shard`], so their outputs are
+    /// bit-identical.
+    fn infer_refs(&self, images: &[&Tensor], start: Instant) -> BatchOutput {
         let classes = self.model.config().num_classes;
         let batch = images.len();
         let mut logits_data = vec![0.0f32; batch * classes];
         let mut tokens_per_block: Vec<Vec<usize>> = vec![Vec::new(); batch];
         let mut macs = vec![0u64; batch];
-        let workers = self.config.threads.min(batch).max(1);
+        let workers = self.threads.min(batch).max(1);
+        let mut scratches = self.pool.checkout(workers);
         if workers == 1 {
             parallel::run_shard(
                 &self.model,
-                &mut self.scratches[0],
+                &mut scratches[0],
                 images,
                 classes,
                 &mut logits_data,
@@ -205,7 +349,7 @@ impl<M: InferenceModel> Engine<M> {
         } else {
             parallel::infer_sharded(
                 &self.model,
-                &mut self.scratches[..workers],
+                &mut scratches,
                 images,
                 classes,
                 &mut logits_data,
@@ -213,6 +357,7 @@ impl<M: InferenceModel> Engine<M> {
                 &mut macs,
             );
         }
+        self.pool.checkin(scratches, self.threads);
         BatchOutput {
             logits: Tensor::from_vec(logits_data, &[batch, classes]),
             tokens_per_block,
@@ -222,7 +367,7 @@ impl<M: InferenceModel> Engine<M> {
     }
 
     /// Classifies one loader batch (sharded like [`Engine::infer_batch`]).
-    pub fn infer_samples(&mut self, batch: &Batch<'_>) -> BatchOutput {
+    pub fn infer_samples(&self, batch: &Batch<'_>) -> BatchOutput {
         self.infer_batch_iter(batch.samples.iter().map(|s| &s.image))
     }
 
@@ -231,7 +376,7 @@ impl<M: InferenceModel> Engine<M> {
     /// is sharded across the configured worker threads, so a multi-threaded
     /// engine reports the same accuracy/cost numbers at higher
     /// `images_per_sec`.
-    pub fn run_epoch(&mut self, loader: &Loader<'_>, epoch: u64) -> EngineReport {
+    pub fn run_epoch(&self, loader: &Loader<'_>, epoch: u64) -> EngineReport {
         let mut images = 0usize;
         let mut batches = 0usize;
         let mut correct = 0.0f64;
@@ -276,5 +421,51 @@ impl<M: InferenceModel> Engine<M> {
                 final_tokens as f64 / images as f64
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_config_defers_resolution() {
+        // `auto()` must not bake a number in at construction time.
+        assert_eq!(EngineConfig::auto().threads, ThreadCount::Auto);
+    }
+
+    #[test]
+    fn resolve_auto_falls_back_to_one_core() {
+        // The 1-core fallback: unqueryable parallelism and a single-core
+        // report both resolve to one worker.
+        assert_eq!(resolve_auto(None), 1);
+        assert_eq!(resolve_auto(Some(1)), 1);
+    }
+
+    #[test]
+    fn resolve_auto_clamps_wide_machines() {
+        assert_eq!(resolve_auto(Some(4)), 4);
+        assert_eq!(resolve_auto(Some(MAX_AUTO_THREADS)), MAX_AUTO_THREADS);
+        assert_eq!(resolve_auto(Some(100_000)), MAX_AUTO_THREADS);
+        // Degenerate zero report clamps up, never down to a zero-width pool.
+        assert_eq!(resolve_auto(Some(0)), 1);
+    }
+
+    #[test]
+    fn fixed_thread_count_resolves_to_itself() {
+        assert_eq!(ThreadCount::Fixed(3).resolve(), 3);
+        assert_eq!(EngineConfig::with_threads(5).threads, ThreadCount::Fixed(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_fixed_threads_panics_at_resolution() {
+        ThreadCount::Fixed(0).resolve();
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_thread_config_panics_at_construction() {
+        EngineConfig::with_threads(0);
     }
 }

@@ -1,0 +1,97 @@
+//! The scratch checkout pool behind shared-reference inference.
+//!
+//! Before the serving redesign every [`crate::Engine`] inference method took
+//! `&mut self` solely because the persistent [`PruneScratch`] workspaces
+//! lived as a plain `Vec` field. A server cannot work that way: many client
+//! threads hold `&Engine` and submit concurrently. [`ScratchPool`] breaks
+//! the coupling — scratches are *checked out* for the duration of one batch
+//! and *checked in* afterwards, so the engine's hot path needs only `&self`
+//! while each in-flight batch still owns its workspaces exclusively (no
+//! locking inside the compute loop; the mutex guards only the free list,
+//! two lock acquisitions per batch).
+//!
+//! Warm scratches (grown activation/repack buffers) are what make the pool
+//! worth having, so check-in retains them for reuse; the caller passes a
+//! retention cap (normally the engine's worker count) to bound idle memory
+//! when concurrent submitters briefly inflate the pool.
+
+use heatvit_selector::PruneScratch;
+use std::sync::Mutex;
+
+/// A free list of reusable [`PruneScratch`] workspaces.
+///
+/// Checkout never blocks on capacity: when the free list runs dry (first
+/// use, or more concurrent batches than retained scratches) fresh default
+/// workspaces are built — [`PruneScratch`] is cheap to construct and grows
+/// its buffers on first use, so correctness never depends on reuse, only
+/// steady-state allocation behavior does.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    free: Mutex<Vec<PruneScratch>>,
+}
+
+impl ScratchPool {
+    /// Checks out exactly `n` scratches: warm ones first, freshly built
+    /// defaults for the remainder.
+    pub(crate) fn checkout(&self, n: usize) -> Vec<PruneScratch> {
+        let mut out = {
+            let mut free = self.free.lock().expect("scratch pool poisoned");
+            let take = free.len().min(n);
+            let start = free.len() - take;
+            free.split_off(start)
+        };
+        out.resize_with(n, PruneScratch::default);
+        out
+    }
+
+    /// Returns scratches to the free list, retaining at most `max_idle`
+    /// total and dropping the excess.
+    pub(crate) fn checkin(&self, scratches: Vec<PruneScratch>, max_idle: usize) {
+        let mut free = self.free.lock().expect("scratch pool poisoned");
+        for scratch in scratches {
+            if free.len() >= max_idle {
+                break;
+            }
+            free.push(scratch);
+        }
+    }
+
+    /// Number of idle scratches currently retained.
+    #[cfg(test)]
+    pub(crate) fn idle(&self) -> usize {
+        self.free.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_builds_fresh_scratches_when_empty() {
+        let pool = ScratchPool::default();
+        assert_eq!(pool.checkout(3).len(), 3);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn checkin_retains_up_to_the_cap() {
+        let pool = ScratchPool::default();
+        let scratches = pool.checkout(4);
+        pool.checkin(scratches, 2);
+        assert_eq!(pool.idle(), 2);
+        // A later checkout reuses the retained pair and builds the rest.
+        assert_eq!(pool.checkout(3).len(), 3);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn checkout_drains_warm_scratches_before_building() {
+        let pool = ScratchPool::default();
+        pool.checkin(pool.checkout(1), 4);
+        assert_eq!(pool.idle(), 1);
+        // The warm scratch is reused (idle drops to 0), one fresh is built.
+        pool.checkin(pool.checkout(2), 4);
+        assert_eq!(pool.idle(), 2);
+    }
+}

@@ -15,15 +15,24 @@
 //!   `StaticPrunedViT`, and the int8 `QuantizedViT` (dense or adaptively
 //!   pruned): classify one image, report per-block token counts and a MAC
 //!   estimate (packed-DSP-equivalent for the int8 backend);
-//! * [`Engine`] — drives an `InferenceModel` over batches with a pool of
-//!   persistent scratch workspaces (no per-image allocation of activations,
-//!   keep-masks, or repacking buffers), sharding each batch across
-//!   [`EngineConfig::threads`] scoped worker threads; the merged
+//! * [`Backend`] / [`BackendKind`] — the type-erased handle over those four
+//!   model types, so servers and table-driven harnesses run one
+//!   `Engine<Backend>` whose concrete variant is chosen at runtime
+//!   (iterate [`BackendKind::ALL`] instead of monomorphizing per variant);
+//! * [`Engine`] — built via [`Engine::builder`] ([`EngineBuilder`]), drives
+//!   an `InferenceModel` over batches with a checkout pool of persistent
+//!   scratch workspaces (no per-image allocation of activations,
+//!   keep-masks, or repacking buffers), sharding each batch across the
+//!   configured scoped worker threads; every inference entry point takes
+//!   `&self`, so concurrent submitters share one engine, and the merged
 //!   [`BatchOutput`] logits are bit-identical to the per-image path at
 //!   every thread count;
 //! * [`Engine::run_epoch`] — the dataset-level harness reporting accuracy,
 //!   throughput, and mean cost per variant, the substrate for every
 //!   dense-vs-pruned comparison in the paper.
+//!
+//! The request/response serving front-end over this engine — dynamic
+//! batching, deadlines, priorities — lives in the `heatvit-serve` crate.
 //!
 //! ## Example: comparing variants under one harness
 //!
@@ -43,8 +52,8 @@
 //!     .map(|_| Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng))
 //!     .collect();
 //!
-//! let dense_out = Engine::new(backbone).infer_batch(&images);
-//! let pruned_out = Engine::new(pruned).infer_batch(&images);
+//! let dense_out = Engine::builder(backbone).build().infer_batch(&images);
+//! let pruned_out = Engine::builder(pruned).build().infer_batch(&images);
 //! assert_eq!(dense_out.logits.dims(), pruned_out.logits.dims());
 //! // The pruned variant never carries more than one extra (package) token.
 //! let dense_tokens = dense_out.mean_tokens_per_block();
@@ -56,10 +65,14 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod engine;
 mod model;
 
-pub use engine::{BatchOutput, Engine, EngineConfig, EngineReport};
+pub use backend::{Backend, BackendKind};
+pub use engine::{
+    BatchOutput, Engine, EngineBuilder, EngineConfig, EngineReport, ThreadCount, MAX_AUTO_THREADS,
+};
 pub use model::{InferenceModel, ModelOutput};
 
 // Re-export the workspace crates so `heatvit` works as a facade.

@@ -27,16 +27,19 @@ pub struct ModelOutput {
 /// under a single harness — the comparison setup of paper Figs. 2 and 4
 /// extended with the Section V quantized backend.
 ///
-/// `Sync` is a supertrait: [`infer_one`](InferenceModel::infer_one) takes
-/// `&self`, and the sharded engine shares that reference across scoped
+/// `Send + Sync` are supertraits: [`infer_one`](InferenceModel::infer_one)
+/// takes `&self`, the sharded engine shares that reference across scoped
 /// worker threads (all mutable state lives in the per-worker
-/// [`PruneScratch`]). Every workspace model is plain owned data, so the
-/// bound costs implementors nothing.
+/// [`PruneScratch`]), and a serving worker pool (`heatvit-serve`) *owns*
+/// the model on a spawned batcher thread, which requires `Send`. Every
+/// workspace model is plain owned data, so the bounds cost implementors
+/// nothing — each model crate carries a compile-time assertion.
 ///
 /// The trait is object safe: heterogeneous model fleets can be held as
 /// `Box<dyn InferenceModel>`, which implements the trait itself and can be
-/// driven by an [`crate::Engine`] directly.
-pub trait InferenceModel: Sync {
+/// driven by an [`crate::Engine`] directly. For the workspace's own four
+/// variants, prefer the allocation-free [`crate::Backend`] enum.
+pub trait InferenceModel: Send + Sync {
     /// Short human-readable variant name for report tables.
     fn variant(&self) -> &str;
 
@@ -76,7 +79,7 @@ impl<M: InferenceModel + ?Sized> InferenceModel for Box<M> {
 
 impl InferenceModel for VisionTransformer {
     fn variant(&self) -> &str {
-        "dense"
+        Self::VARIANT
     }
 
     fn config(&self) -> &ViTConfig {
@@ -99,7 +102,7 @@ impl InferenceModel for VisionTransformer {
 
 impl InferenceModel for PrunedViT {
     fn variant(&self) -> &str {
-        "adaptive-pruned"
+        Self::VARIANT
     }
 
     fn config(&self) -> &ViTConfig {
@@ -155,7 +158,7 @@ impl InferenceModel for QuantizedViT {
 
 impl InferenceModel for StaticPrunedViT {
     fn variant(&self) -> &str {
-        "static-pruned"
+        Self::VARIANT
     }
 
     fn config(&self) -> &ViTConfig {

@@ -32,7 +32,7 @@ fn batch(count: usize, seed: u64) -> Vec<Tensor> {
 
 /// Stacked logits + predictions of any `InferenceModel` over a batch.
 fn run<M: InferenceModel>(model: M, images: &[Tensor]) -> (Tensor, Vec<usize>) {
-    let mut engine = Engine::new(model);
+    let engine = Engine::builder(model).build();
     let out = engine.infer_batch(images);
     let preds = out.predictions();
     (out.logits, preds)
@@ -100,7 +100,7 @@ fn engine_batched_path_is_bit_identical_to_single_image_int8() {
     let images = batch(6, 13);
     let qmodel = QuantizedViT::from_float(&float);
     let reference: Vec<Tensor> = images.iter().map(|i| qmodel.infer(i).logits).collect();
-    let mut engine = Engine::new(qmodel);
+    let engine = Engine::builder(qmodel).build();
     let out = engine.infer_batch(&images);
     for (i, single) in reference.iter().enumerate() {
         assert_eq!(out.logits.row(i), single.data(), "image {i} diverged");
@@ -114,7 +114,7 @@ fn engine_reports_packed_macs_for_int8() {
     let images = batch(4, 14);
     let qmodel = QuantizedViT::from_float(&float);
     let dense_baseline = InferenceModel::dense_macs(&qmodel);
-    let mut engine = Engine::new(qmodel);
+    let engine = Engine::builder(qmodel).build();
     let out = engine.infer_batch(&images);
     // Dense int8: every image costs the packed equivalent of the float
     // dense MACs — the ~1.9× DSP-packing claim surfaces in the report.

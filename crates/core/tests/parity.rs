@@ -69,7 +69,7 @@ fn assert_batch_matches_single<M: InferenceModel>(
     single_logits: &[Tensor],
     images: &[Tensor],
 ) {
-    let mut engine = Engine::new(model);
+    let engine = Engine::builder(model).build();
     let out = engine.infer_batch(images);
     assert_eq!(out.logits.dims(), &[images.len(), 4]);
     for (i, single) in single_logits.iter().enumerate() {
@@ -119,9 +119,9 @@ fn static_pruned_batch_is_bitwise_identical_to_single() {
 /// `build` must be deterministic (each call returns an identical model) so
 /// every engine runs the same weights.
 fn assert_parallel_matches_sequential<M: InferenceModel>(build: impl Fn() -> M, images: &[Tensor]) {
-    let sequential = Engine::new(build()).infer_batch(images);
+    let sequential = Engine::builder(build()).build().infer_batch(images);
     for threads in [1, 2, 3] {
-        let mut engine = Engine::with_threads(build(), threads);
+        let engine = Engine::builder(build()).threads(threads).build();
         let parallel = engine.infer_batch(images);
         let variant = engine.model().variant();
         assert_eq!(parallel.logits.dims(), sequential.logits.dims());
@@ -183,7 +183,7 @@ fn parallel_handles_batches_smaller_than_the_pool() {
 #[test]
 fn parallel_handles_an_empty_batch() {
     let mut rng = StdRng::seed_from_u64(25);
-    let mut engine = Engine::with_threads(backbone(&mut rng), 3);
+    let engine = Engine::builder(backbone(&mut rng)).threads(3).build();
     let out = engine.infer_batch(&[]);
     assert!(out.is_empty());
     assert_eq!(out.logits.dims(), &[0, 4]);
@@ -197,8 +197,13 @@ fn parallel_handles_an_empty_batch() {
 fn parallel_run_epoch_matches_sequential_statistics() {
     let dataset = SyntheticDataset::generate(SyntheticConfig::micro(), 10, 1);
     let loader = Loader::new(&dataset, 4, false, 0);
-    let seq = Engine::new(pruned(&mut StdRng::seed_from_u64(8))).run_epoch(&loader, 0);
-    let par = Engine::with_threads(pruned(&mut StdRng::seed_from_u64(8)), 3).run_epoch(&loader, 0);
+    let seq = Engine::builder(pruned(&mut StdRng::seed_from_u64(8)))
+        .build()
+        .run_epoch(&loader, 0);
+    let par = Engine::builder(pruned(&mut StdRng::seed_from_u64(8)))
+        .threads(3)
+        .build()
+        .run_epoch(&loader, 0);
     assert_eq!(par.images, seq.images);
     assert_eq!(par.batches, seq.batches);
     assert_eq!(par.accuracy, seq.accuracy);
@@ -210,8 +215,10 @@ fn parallel_run_epoch_matches_sequential_statistics() {
 fn boxed_models_run_under_the_engine() {
     let model: Box<dyn InferenceModel> = Box::new(pruned(&mut StdRng::seed_from_u64(8)));
     let imgs = images(&mut StdRng::seed_from_u64(26), 4);
-    let boxed = Engine::with_threads(model, 2).infer_batch(&imgs);
-    let direct = Engine::new(pruned(&mut StdRng::seed_from_u64(8))).infer_batch(&imgs);
+    let boxed = Engine::builder(model).threads(2).build().infer_batch(&imgs);
+    let direct = Engine::builder(pruned(&mut StdRng::seed_from_u64(8)))
+        .build()
+        .infer_batch(&imgs);
     assert_eq!(boxed.logits.data(), direct.logits.data());
     assert_eq!(boxed.macs, direct.macs);
 }
@@ -221,7 +228,7 @@ fn pruned_token_counts_are_monotone_across_stages() {
     let mut rng = StdRng::seed_from_u64(10);
     let model = pruned(&mut rng);
     let selector_blocks = model.selector_blocks();
-    let mut engine = Engine::new(model);
+    let engine = Engine::builder(model).build();
     for image in images(&mut rng, 8) {
         let out = engine.infer_one(&image);
         // Patch-token counts entering each selector stage may only shrink
@@ -260,7 +267,7 @@ fn engine_runs_a_loader_epoch() {
     let model = pruned(&mut rng);
     let dataset = SyntheticDataset::generate(SyntheticConfig::micro(), 12, 0);
     let loader = Loader::new(&dataset, 4, false, 0);
-    let mut engine = Engine::new(model);
+    let engine = Engine::builder(model).build();
     let report = engine.run_epoch(&loader, 0);
     assert_eq!(report.images, 12);
     assert_eq!(report.batches, 3);

@@ -314,6 +314,14 @@ pub struct QuantizedViT {
     calibrated: bool,
 }
 
+// Serving worker pools own models and move them across threads; a future
+// non-`Send`/`Sync` field must fail to build here rather than at the spawn
+// site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QuantizedViT>();
+};
+
 impl QuantizedViT {
     /// Quantizes a float model's weights (max-abs, symmetric int8) into a
     /// dense int8 model with dynamic activation quantization.
@@ -375,12 +383,18 @@ impl QuantizedViT {
         &self.config
     }
 
-    /// `"int8-dense"` or `"int8-adaptive"` depending on pruning stages.
+    /// [`QuantizedViT::variant_name`] of a model with no pruning stages.
+    pub const VARIANT_DENSE: &'static str = "int8-dense";
+    /// [`QuantizedViT::variant_name`] of a model with pruning stages.
+    pub const VARIANT_ADAPTIVE: &'static str = "int8-adaptive";
+
+    /// [`Self::VARIANT_DENSE`] or [`Self::VARIANT_ADAPTIVE`] depending on
+    /// whether pruning stages are installed.
     pub fn variant_name(&self) -> &'static str {
         if self.stages.is_empty() {
-            "int8-dense"
+            Self::VARIANT_DENSE
         } else {
-            "int8-adaptive"
+            Self::VARIANT_ADAPTIVE
         }
     }
 

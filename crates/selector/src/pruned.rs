@@ -50,7 +50,19 @@ pub struct PrunedViT {
     package_enabled: bool,
 }
 
+// Serving worker pools own models and move them across threads; a future
+// non-`Send`/`Sync` field must fail to build here rather than at the spawn
+// site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PrunedViT>();
+};
+
 impl PrunedViT {
+    /// Canonical variant label this backend registers in engine and serving
+    /// report tables.
+    pub const VARIANT: &'static str = "adaptive-pruned";
+
     /// Wraps a backbone with no selectors installed.
     pub fn new(backbone: VisionTransformer) -> Self {
         let depth = backbone.config().depth;

@@ -41,7 +41,10 @@ pub struct StaticStage {
 }
 
 /// A backbone with static (input-agnostic) token pruning.
-#[derive(Debug)]
+///
+/// `Clone` so a serving deployment can stamp out per-server replicas of one
+/// configured baseline, matching the other backend types.
+#[derive(Debug, Clone)]
 pub struct StaticPrunedViT {
     backbone: VisionTransformer,
     stages: Vec<StaticStage>,
@@ -58,7 +61,19 @@ pub struct StaticInference {
     pub tokens_per_block: Vec<usize>,
 }
 
+// Serving worker pools own models and move them across threads; a future
+// non-`Send`/`Sync` field must fail to build here rather than at the spawn
+// site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StaticPrunedViT>();
+};
+
 impl StaticPrunedViT {
+    /// Canonical variant label this backend registers in engine and serving
+    /// report tables.
+    pub const VARIANT: &'static str = "static-pruned";
+
     /// Wraps a backbone with the given stages and rule.
     ///
     /// # Panics

@@ -1,0 +1,71 @@
+//! # heatvit-serve
+//!
+//! The request/response serving front-end over the
+//! [HeatViT](https://arxiv.org/abs/2211.08110) inference engine.
+//!
+//! HeatViT's pitch is latency-*budgeted* inference: the hardware-aware
+//! pruning schedule exists to hit a throughput target under real traffic.
+//! This crate supplies the traffic side — individual requests with
+//! deadlines and priorities, served by dynamic batching over the batched
+//! [`heatvit::Engine`]:
+//!
+//! * [`Server`] — owns the engine and one batcher thread; clients on any
+//!   thread [`Server::submit`] an [`InferRequest`] into a bounded queue
+//!   (backpressure, never drops) and get a [`Ticket`] that resolves to an
+//!   [`InferResponse`];
+//! * dynamic batching — the batcher flushes a pending batch on whichever
+//!   trips first: **max-batch** (the batch filled), **deadline proximity**
+//!   (a member's deadline is within [`ServeConfig::deadline_slack`]), or
+//!   **queue-idle** (no arrival for [`ServeConfig::idle_flush`]); shutdown
+//!   *drains* — every accepted request is served;
+//! * [`ServeReport`] — p50/p95/max latency, batch-size histogram,
+//!   per-policy flush counts ([`FlushCounts`]), deadline misses, and
+//!   throughput.
+//!
+//! Served logits are **bitwise identical** to `Engine::infer_batch` on the
+//! same images — batch composition never changes per-image arithmetic, and
+//! the flush tests assert it. Everything is `std` synchronization (mutex,
+//! condvar, scoped threads); no async runtime.
+//!
+//! ```
+//! use heatvit::Backend;
+//! use heatvit_serve::{InferRequest, Priority, ServeConfig, Server};
+//! use heatvit_tensor::Tensor;
+//! use heatvit_vit::{ViTConfig, VisionTransformer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::time::{Duration, Instant};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
+//! let server = Server::start(Backend::from(model), ServeConfig::default());
+//!
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let image = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+//!         server
+//!             .submit(InferRequest {
+//!                 image,
+//!                 deadline: Instant::now() + Duration::from_millis(100),
+//!                 priority: Priority::Normal,
+//!             })
+//!             .expect("server accepts while open")
+//!     })
+//!     .collect();
+//! for ticket in tickets {
+//!     let response = ticket.wait();
+//!     assert_eq!(response.logits.dims(), &[1, 2]);
+//! }
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 4);
+//! assert!(report.flushes.total() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod report;
+mod request;
+mod server;
+
+pub use report::{FlushCounts, FlushReason, ServeReport};
+pub use request::{InferRequest, InferResponse, Priority, SubmitError, Ticket};
+pub use server::{ServeConfig, Server};

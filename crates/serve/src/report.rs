@@ -1,0 +1,291 @@
+//! Serving telemetry: per-flush accounting and the aggregate
+//! [`ServeReport`] (latency percentiles, batch-size histogram, deadline
+//! misses, flush-policy counts, throughput).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Why the dynamic batcher flushed a pending batch into the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushReason {
+    /// The batch reached [`crate::ServeConfig::max_batch`] requests.
+    MaxBatch,
+    /// The earliest deadline in the batch came within
+    /// [`crate::ServeConfig::deadline_slack`] of now.
+    Deadline,
+    /// No new request arrived for [`crate::ServeConfig::idle_flush`].
+    Idle,
+    /// The server is draining at shutdown (no request is dropped).
+    Shutdown,
+}
+
+/// Flush counts per [`FlushReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushCounts {
+    /// Batches flushed because they filled up.
+    pub max_batch: u64,
+    /// Batches flushed by deadline proximity.
+    pub deadline: u64,
+    /// Batches flushed by queue idleness.
+    pub idle: u64,
+    /// Batches flushed by the shutdown drain.
+    pub shutdown: u64,
+}
+
+impl FlushCounts {
+    pub(crate) fn bump(&mut self, reason: FlushReason) {
+        match reason {
+            FlushReason::MaxBatch => self.max_batch += 1,
+            FlushReason::Deadline => self.deadline += 1,
+            FlushReason::Idle => self.idle += 1,
+            FlushReason::Shutdown => self.shutdown += 1,
+        }
+    }
+
+    /// Total batches flushed.
+    pub fn total(&self) -> u64 {
+        self.max_batch + self.deadline + self.idle + self.shutdown
+    }
+}
+
+/// Hard cap on retained latency samples: when the buffer fills, it is
+/// decimated (every other sample kept) and the sampling stride doubles, so
+/// memory stays bounded on a long-running server while p50/p95 remain
+/// representative. The worst case is exact for the first 64k requests and
+/// a deterministic 1-in-2ᵏ sample thereafter; the maximum is tracked
+/// exactly regardless.
+const MAX_LATENCY_SAMPLES: usize = 1 << 16;
+
+/// Running accumulator behind [`ServeReport`]. One per server, updated
+/// under its own lock per flushed batch (never inside the compute path;
+/// the batcher only records plain arithmetic under it).
+#[derive(Debug)]
+pub(crate) struct Stats {
+    latencies_us: Vec<u64>,
+    /// Record every `latency_stride`-th response (1 until the first
+    /// decimation, then doubling).
+    latency_stride: u64,
+    /// Responses seen, driving the stride phase.
+    latency_seen: u64,
+    /// Exact worst latency (survives decimation).
+    max_latency_us: u64,
+    completed: u64,
+    deadline_misses: u64,
+    batch_sizes: BTreeMap<usize, u64>,
+    flushes: FlushCounts,
+    first_start: Option<Instant>,
+    last_done: Option<Instant>,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self {
+            latencies_us: Vec::new(),
+            latency_stride: 1,
+            latency_seen: 0,
+            max_latency_us: 0,
+            completed: 0,
+            deadline_misses: 0,
+            batch_sizes: BTreeMap::new(),
+            flushes: FlushCounts::default(),
+            first_start: None,
+            last_done: None,
+        }
+    }
+}
+
+impl Stats {
+    pub(crate) fn record_batch(&mut self, size: usize, reason: FlushReason, done: Instant) {
+        self.flushes.bump(reason);
+        *self.batch_sizes.entry(size).or_insert(0) += 1;
+        if self.first_start.is_none() {
+            self.first_start = Some(done);
+        }
+        self.last_done = Some(done);
+    }
+
+    pub(crate) fn record_first_submit(&mut self, at: Instant) {
+        if self.first_start.is_none() {
+            self.first_start = Some(at);
+        }
+    }
+
+    pub(crate) fn record_response(&mut self, latency: Duration, missed: bool) {
+        let us = latency.as_micros() as u64;
+        self.completed += 1;
+        self.max_latency_us = self.max_latency_us.max(us);
+        if missed {
+            self.deadline_misses += 1;
+        }
+        if self.latency_seen.is_multiple_of(self.latency_stride) {
+            self.latencies_us.push(us);
+            if self.latencies_us.len() >= MAX_LATENCY_SAMPLES {
+                // Decimate: keep every other retained sample and halve the
+                // future sampling rate. Deterministic, bounded, and the
+                // kept samples stay an even spread over the whole history.
+                let mut index = 0usize;
+                self.latencies_us.retain(|_| {
+                    let keep = index.is_multiple_of(2);
+                    index += 1;
+                    keep
+                });
+                self.latency_stride *= 2;
+            }
+        }
+        self.latency_seen += 1;
+    }
+
+    pub(crate) fn report(&self) -> ServeReport {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let completed = self.completed;
+        let window = match (self.first_start, self.last_done) {
+            (Some(start), Some(done)) => done.duration_since(start),
+            _ => Duration::ZERO,
+        };
+        let total_in_batches: u64 = self.batch_sizes.iter().map(|(s, n)| (*s as u64) * n).sum();
+        ServeReport {
+            completed,
+            batches: self.flushes.total(),
+            deadline_misses: self.deadline_misses,
+            flushes: self.flushes,
+            batch_histogram: self.batch_sizes.iter().map(|(s, n)| (*s, *n)).collect(),
+            mean_batch: if self.flushes.total() == 0 {
+                0.0
+            } else {
+                total_in_batches as f64 / self.flushes.total() as f64
+            },
+            p50_ms: percentile_us(&sorted, 0.50) as f64 / 1e3,
+            p95_ms: percentile_us(&sorted, 0.95) as f64 / 1e3,
+            max_ms: self.max_latency_us as f64 / 1e3,
+            throughput: if window.is_zero() {
+                0.0
+            } else {
+                completed as f64 / window.as_secs_f64()
+            },
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice of microsecond
+/// latencies (0 for an empty slice).
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregate statistics of everything a [`crate::Server`] has served.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests resolved.
+    pub completed: u64,
+    /// Batches flushed.
+    pub batches: u64,
+    /// Responses that resolved after their request's deadline.
+    pub deadline_misses: u64,
+    /// Flush counts per policy.
+    pub flushes: FlushCounts,
+    /// `(batch size, count)` pairs in ascending batch-size order.
+    pub batch_histogram: Vec<(usize, u64)>,
+    /// Mean formed-batch size.
+    pub mean_batch: f64,
+    /// Median request latency (submit → response), milliseconds. Exact up
+    /// to [`MAX_LATENCY_SAMPLES`] requests, computed over a deterministic
+    /// even-spread sample beyond that.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds (nearest-rank; same
+    /// sampling bound as `p50_ms`).
+    pub p95_ms: f64,
+    /// Worst request latency, milliseconds (always exact).
+    pub max_ms: f64,
+    /// Completed requests per second over the serving window (first
+    /// submission to last resolved batch).
+    pub throughput: f64,
+}
+
+impl ServeReport {
+    /// Fraction of completed requests that missed their deadline.
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&v, 0.50), 50);
+        assert_eq!(percentile_us(&v, 0.95), 95);
+        assert_eq!(percentile_us(&v, 1.0), 100);
+        assert_eq!(percentile_us(&[7], 0.95), 7);
+        assert_eq!(percentile_us(&[], 0.95), 0);
+        // Small-sample nearest rank rounds up: p50 of [1, 2] is rank 1.
+        assert_eq!(percentile_us(&[1, 2], 0.50), 1);
+    }
+
+    #[test]
+    fn flush_counts_bump_and_total() {
+        let mut counts = FlushCounts::default();
+        counts.bump(FlushReason::MaxBatch);
+        counts.bump(FlushReason::Deadline);
+        counts.bump(FlushReason::Deadline);
+        counts.bump(FlushReason::Idle);
+        counts.bump(FlushReason::Shutdown);
+        assert_eq!(counts.max_batch, 1);
+        assert_eq!(counts.deadline, 2);
+        assert_eq!(counts.total(), 5);
+    }
+
+    #[test]
+    fn latency_storage_stays_bounded_under_sustained_load() {
+        let mut stats = Stats::default();
+        let total = MAX_LATENCY_SAMPLES * 4;
+        for i in 0..total {
+            stats.record_response(Duration::from_micros(i as u64 + 1), false);
+        }
+        assert!(stats.latencies_us.len() < MAX_LATENCY_SAMPLES);
+        let report = stats.report();
+        // Counters stay exact through decimation, including the maximum.
+        assert_eq!(report.completed, total as u64);
+        assert_eq!(report.max_ms, total as f64 / 1e3);
+        // Percentiles stay representative of the uniform 1..=total ramp.
+        let mid = total as f64 / 1e3 / 2.0;
+        assert!(
+            (report.p50_ms - mid).abs() < mid * 0.05,
+            "{}",
+            report.p50_ms
+        );
+    }
+
+    #[test]
+    fn stats_aggregate_into_a_report() {
+        let mut stats = Stats::default();
+        let t0 = Instant::now();
+        stats.record_first_submit(t0);
+        stats.record_batch(2, FlushReason::MaxBatch, t0 + Duration::from_millis(10));
+        stats.record_response(Duration::from_millis(4), false);
+        stats.record_response(Duration::from_millis(8), true);
+        stats.record_batch(1, FlushReason::Idle, t0 + Duration::from_millis(20));
+        stats.record_response(Duration::from_millis(2), false);
+        let report = stats.report();
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.deadline_misses, 1);
+        assert!((report.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.batch_histogram, vec![(1, 1), (2, 1)]);
+        assert!((report.mean_batch - 1.5).abs() < 1e-12);
+        assert_eq!(report.p50_ms, 4.0);
+        assert_eq!(report.max_ms, 8.0);
+        assert!(report.throughput > 0.0);
+    }
+}

@@ -1,0 +1,498 @@
+//! The [`Server`]: a bounded request queue, a dynamic batcher thread, and
+//! one shared [`Engine`] whose sharded execution core runs every formed
+//! batch.
+//!
+//! ## Request lifecycle
+//!
+//! 1. A client calls [`Server::submit`] from any thread. The request enters
+//!    the bounded queue (blocking while full — the backpressure that makes
+//!    closed-loop load generation drop-free) and the client gets a
+//!    [`Ticket`] back immediately.
+//! 2. The batcher thread accumulates queued requests into a pending batch,
+//!    high-priority first, and flushes when the first of three conditions
+//!    trips: the batch is full (`max_batch`), some member's deadline is
+//!    within `deadline_slack`, or no new request has arrived for
+//!    `idle_flush`.
+//! 3. The flushed batch runs through [`Engine::infer_batch_iter`] — the
+//!    same sharded, scratch-pooled execution core the offline benchmarks
+//!    use, so served logits are bitwise identical to `Engine::infer_batch`
+//!    on the same images.
+//! 4. Each request's [`Ticket`] resolves with its [`InferResponse`];
+//!    latency, batch size, flush reason, and deadline outcome land in the
+//!    server's [`ServeReport`].
+//!
+//! Shutdown closes the queue and *drains* it: every accepted request is
+//! still served (flushes tagged [`FlushReason::Shutdown`]), then the
+//! batcher exits. Nothing is ever dropped.
+
+use crate::report::{FlushReason, ServeReport, Stats};
+use crate::request::{InferRequest, InferResponse, Priority, ResponseSlot, SubmitError, Ticket};
+use heatvit::{Engine, InferenceModel};
+use heatvit_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Flush a pending batch as soon as it holds this many requests (also
+    /// the hard cap on formed-batch size).
+    pub max_batch: usize,
+    /// Bound of the submission queue; blocking [`Server::submit`] waits for
+    /// space, [`Server::try_submit`] returns [`SubmitError::Full`].
+    pub queue_capacity: usize,
+    /// Flush a non-empty pending batch once no new request has arrived for
+    /// this long (latency floor under trickle traffic).
+    pub idle_flush: Duration,
+    /// Flush once the earliest deadline in the pending batch is within this
+    /// margin of now — the margin should cover one batch's service time so
+    /// the response still makes the deadline.
+    pub deadline_slack: Duration,
+    /// Deadline budget given to [`Server::submit_image`] conveniences.
+    pub default_deadline: Duration,
+    /// Worker policy of the underlying [`Engine`] (how each formed batch is
+    /// sharded across threads).
+    pub engine: heatvit::EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            queue_capacity: 64,
+            idle_flush: Duration::from_millis(1),
+            deadline_slack: Duration::from_millis(2),
+            default_deadline: Duration::from_millis(50),
+            engine: heatvit::EngineConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+    }
+}
+
+/// One queued request plus its bookkeeping.
+struct Pending {
+    image: Tensor,
+    deadline: Instant,
+    submitted: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Everything behind the queue mutex.
+struct QueueState {
+    high: VecDeque<Pending>,
+    normal: VecDeque<Pending>,
+    /// `false` once shutdown begins: submissions are refused, the batcher
+    /// drains what remains.
+    open: bool,
+    /// Most recent arrival, driving the idle-flush timer.
+    last_arrival: Option<Instant>,
+    /// `true` once the first submission has opened the stats window, so
+    /// the per-submit hot path never touches the stats lock again.
+    window_opened: bool,
+}
+
+impl QueueState {
+    fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    /// Next request in scheduling order: queued high-priority requests
+    /// first, FIFO within each class.
+    fn pop_next(&mut self) -> Option<Pending> {
+        self.high.pop_front().or_else(|| self.normal.pop_front())
+    }
+}
+
+/// State shared between client threads and the batcher thread.
+struct Shared<M: InferenceModel> {
+    engine: Engine<M>,
+    config: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Signaled on every arrival and at shutdown; the batcher waits here.
+    arrived: Condvar,
+    /// Signaled whenever queue space frees up; blocking submitters wait.
+    space: Condvar,
+    stats: Mutex<Stats>,
+}
+
+/// A serving front-end over one model backend. See the module docs for the
+/// request lifecycle.
+///
+/// The type parameter defaults to [`heatvit::Backend`], the type-erased
+/// handle — `Server<Backend>` is the one type a deployment needs no matter
+/// which model variant it loads.
+///
+/// # Examples
+///
+/// ```
+/// use heatvit::Backend;
+/// use heatvit_serve::{ServeConfig, Server};
+/// use heatvit_tensor::Tensor;
+/// use heatvit_vit::{ViTConfig, VisionTransformer};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let model = VisionTransformer::new(ViTConfig::test_tiny(3), &mut rng);
+/// let server = Server::start(Backend::from(model), ServeConfig::default());
+/// let image = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+/// let ticket = server.submit_image(image).unwrap();
+/// let response = ticket.wait();
+/// assert_eq!(response.logits.dims(), &[1, 3]);
+/// let report = server.shutdown();
+/// assert_eq!(report.completed, 1);
+/// ```
+pub struct Server<M: InferenceModel + 'static = heatvit::Backend> {
+    shared: Arc<Shared<M>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl<M: InferenceModel + 'static> Server<M> {
+    /// Builds the engine (per `config.engine`) and spawns the batcher
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (zero `max_batch` or
+    /// `queue_capacity`) or the batcher thread cannot be spawned.
+    pub fn start(model: M, config: ServeConfig) -> Self {
+        config.validate();
+        let engine = Engine::builder(model).config(config.engine).build();
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            queue: Mutex::new(QueueState {
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+                open: true,
+                last_arrival: None,
+                window_opened: false,
+            }),
+            arrived: Condvar::new(),
+            space: Condvar::new(),
+            stats: Mutex::new(Stats::default()),
+        });
+        let batcher_shared = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("heatvit-serve-batcher".into())
+            .spawn(move || batcher_loop(batcher_shared))
+            .expect("failed to spawn batcher thread");
+        Self {
+            shared,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Submits a request, blocking while the bounded queue is full.
+    /// Returns the [`Ticket`] that will resolve with the response, or the
+    /// request back if the server is closed.
+    pub fn submit(&self, request: InferRequest) -> Result<Ticket, SubmitError> {
+        self.enqueue(request, true)
+    }
+
+    /// Non-blocking [`Server::submit`]: refuses with [`SubmitError::Full`]
+    /// instead of waiting for queue space.
+    pub fn try_submit(&self, request: InferRequest) -> Result<Ticket, SubmitError> {
+        self.enqueue(request, false)
+    }
+
+    /// Submits an image as a normal-priority request due
+    /// [`ServeConfig::default_deadline`] from now (blocking while full).
+    pub fn submit_image(&self, image: Tensor) -> Result<Ticket, SubmitError> {
+        self.submit(InferRequest::with_budget(
+            image,
+            self.shared.config.default_deadline,
+        ))
+    }
+
+    fn enqueue(&self, request: InferRequest, block: bool) -> Result<Ticket, SubmitError> {
+        let shared = &*self.shared;
+        // Shape-check before accepting: a malformed image must be refused
+        // here, at the submitter, not panic later inside the batcher thread
+        // (which would strand every in-flight ticket).
+        let config = shared.engine.model().config();
+        let expected = [config.in_channels, config.image_size, config.image_size];
+        if request.image.dims() != expected {
+            return Err(SubmitError::BadImage { request, expected });
+        }
+        let mut queue = shared.queue.lock().expect("serve queue poisoned");
+        while queue.open && queue.len() >= shared.config.queue_capacity {
+            if !block {
+                return Err(SubmitError::Full(request));
+            }
+            queue = shared.space.wait(queue).expect("serve queue poisoned");
+        }
+        if !queue.open {
+            return Err(SubmitError::Closed(request));
+        }
+        let now = Instant::now();
+        let slot = Arc::new(ResponseSlot::default());
+        let pending = Pending {
+            image: request.image,
+            deadline: request.deadline,
+            submitted: now,
+            slot: Arc::clone(&slot),
+        };
+        match request.priority {
+            Priority::High => queue.high.push_back(pending),
+            Priority::Normal => queue.normal.push_back(pending),
+        }
+        queue.last_arrival = Some(now);
+        // Open the serving window before the request becomes visible to the
+        // batcher (queue lock still held; the batcher never takes the stats
+        // lock while holding the queue lock, so the queue→stats order here
+        // cannot deadlock) — otherwise a fast batcher could record the
+        // first batch completion as the window start, skewing throughput.
+        // The flag keeps this off the steady-state submit path: the stats
+        // lock is taken exactly once per server lifetime.
+        if !queue.window_opened {
+            queue.window_opened = true;
+            shared
+                .stats
+                .lock()
+                .expect("serve stats poisoned")
+                .record_first_submit(now);
+        }
+        drop(queue);
+        shared.arrived.notify_all();
+        Ok(Ticket { slot })
+    }
+
+    /// Stops accepting new requests; the batcher keeps draining in the
+    /// background. Safe to call more than once.
+    pub fn close(&self) {
+        let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+        queue.open = false;
+        drop(queue);
+        self.shared.arrived.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Snapshot of everything served so far (callable while running).
+    pub fn report(&self) -> ServeReport {
+        self.shared
+            .stats
+            .lock()
+            .expect("serve stats poisoned")
+            .report()
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &M {
+        self.shared.engine.model()
+    }
+
+    /// Closes the queue, waits for the drain to finish (every accepted
+    /// ticket resolves first), and returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.close();
+        if let Some(batcher) = self.batcher.take() {
+            batcher.join().expect("batcher thread panicked");
+        }
+        self.report()
+    }
+}
+
+impl<M: InferenceModel + 'static> Drop for Server<M> {
+    fn drop(&mut self) {
+        self.close();
+        if let Some(batcher) = self.batcher.take() {
+            // Re-raising a batcher panic here could double-panic during an
+            // unwind and abort, so the join error is swallowed; use
+            // `shutdown()` to surface it. A batcher panic is always a bug —
+            // submissions are shape-checked before they reach the thread.
+            let _ = batcher.join();
+        }
+    }
+}
+
+/// Moves queued requests into `pending` (scheduling order) up to
+/// `max_batch`, waking blocked submitters for every slot freed.
+fn top_up(queue: &mut QueueState, pending: &mut Vec<Pending>, max_batch: usize) -> bool {
+    let mut moved = false;
+    while pending.len() < max_batch {
+        match queue.pop_next() {
+            Some(request) => {
+                pending.push(request);
+                moved = true;
+            }
+            None => break,
+        }
+    }
+    moved
+}
+
+/// The batcher thread: gather → flush → resolve, until closed and drained.
+fn batcher_loop<M: InferenceModel + 'static>(shared: Arc<Shared<M>>) {
+    let config = shared.config;
+    let mut pending: Vec<Pending> = Vec::new();
+    loop {
+        let reason = {
+            let mut queue = shared.queue.lock().expect("serve queue poisoned");
+            loop {
+                if top_up(&mut queue, &mut pending, config.max_batch) {
+                    shared.space.notify_all();
+                }
+                if pending.len() >= config.max_batch {
+                    break FlushReason::MaxBatch;
+                }
+                if !queue.open {
+                    if pending.is_empty() {
+                        return; // closed and fully drained
+                    }
+                    break FlushReason::Shutdown;
+                }
+                if pending.is_empty() {
+                    queue = shared.arrived.wait(queue).expect("serve queue poisoned");
+                    continue;
+                }
+                // A partial batch is pending: sleep until whichever flush
+                // timer trips first, unless a new arrival wakes us to top
+                // up (and possibly hit max_batch) sooner.
+                let now = Instant::now();
+                let earliest_deadline = pending
+                    .iter()
+                    .map(|p| p.deadline)
+                    .min()
+                    .expect("pending is non-empty");
+                let deadline_at = earliest_deadline
+                    .checked_sub(config.deadline_slack)
+                    .unwrap_or(now);
+                let idle_at = queue.last_arrival.unwrap_or(now) + config.idle_flush;
+                let (flush_at, tentative) = if deadline_at <= idle_at {
+                    (deadline_at, FlushReason::Deadline)
+                } else {
+                    (idle_at, FlushReason::Idle)
+                };
+                if flush_at <= now {
+                    break tentative;
+                }
+                let (guard, _timeout) = shared
+                    .arrived
+                    .wait_timeout(queue, flush_at - now)
+                    .expect("serve queue poisoned");
+                queue = guard;
+            }
+        };
+        execute_batch(&shared, &mut pending, reason);
+    }
+}
+
+/// Runs one formed batch through the engine's sharded execution core and
+/// resolves every member's response slot.
+fn execute_batch<M: InferenceModel>(
+    shared: &Shared<M>,
+    pending: &mut Vec<Pending>,
+    reason: FlushReason,
+) {
+    debug_assert!(!pending.is_empty(), "flushed an empty batch");
+    let batch_size = pending.len();
+    let started = Instant::now();
+    let out = shared
+        .engine
+        .infer_batch_iter(pending.iter().map(|p| &p.image));
+    let done = Instant::now();
+
+    // Build every response (tensor copies included) before touching the
+    // stats lock, and resolve the tickets after releasing it: submitters
+    // contend on that lock, so it only ever guards cheap arithmetic.
+    let classes = out.logits.dims()[1];
+    let predictions = out.predictions();
+    let mut tokens = out.tokens_per_block.into_iter();
+    let resolved: Vec<(Arc<ResponseSlot>, InferResponse)> = pending
+        .drain(..)
+        .enumerate()
+        .map(|(i, request)| {
+            let latency = done.duration_since(request.submitted);
+            let response = InferResponse {
+                logits: Tensor::from_vec(out.logits.row(i).to_vec(), &[1, classes]),
+                prediction: predictions[i],
+                tokens_per_block: tokens.next().expect("one token row per image"),
+                macs: out.macs[i],
+                queued: started.duration_since(request.submitted),
+                latency,
+                deadline_missed: done > request.deadline,
+                batch_size,
+                flush: reason,
+            };
+            (request.slot, response)
+        })
+        .collect();
+    {
+        let mut stats = shared.stats.lock().expect("serve stats poisoned");
+        stats.record_batch(batch_size, reason, done);
+        for (_, response) in &resolved {
+            stats.record_response(response.latency, response.deadline_missed);
+        }
+    }
+    for (slot, response) in resolved {
+        slot.fill(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A placeholder request whose `tag` rides in the deadline offset so
+    /// scheduling order is observable.
+    fn pending(tag: u64) -> Pending {
+        let now = Instant::now();
+        Pending {
+            image: Tensor::zeros(&[1]),
+            deadline: now + Duration::from_secs(tag),
+            submitted: now,
+            slot: Arc::new(ResponseSlot::default()),
+        }
+    }
+
+    impl Pending {
+        fn tag(&self) -> u64 {
+            self.deadline.duration_since(self.submitted).as_secs()
+        }
+    }
+
+    #[test]
+    fn pop_next_prefers_high_priority_fifo_within_class() {
+        let mut queue = QueueState {
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+            open: true,
+            last_arrival: None,
+            window_opened: false,
+        };
+        queue.normal.push_back(pending(1));
+        queue.normal.push_back(pending(2));
+        queue.high.push_back(pending(10));
+        queue.high.push_back(pending(11));
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop_next())
+            .map(|p| p.tag())
+            .collect();
+        assert_eq!(order, vec![10, 11, 1, 2]);
+    }
+
+    #[test]
+    fn top_up_respects_max_batch_and_reports_movement() {
+        let mut queue = QueueState {
+            high: VecDeque::new(),
+            normal: (0..5).map(pending).collect(),
+            open: true,
+            last_arrival: None,
+            window_opened: false,
+        };
+        let mut batch = Vec::new();
+        assert!(top_up(&mut queue, &mut batch, 3));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(queue.len(), 2);
+        // Full batch: nothing moves, nothing reported.
+        assert!(!top_up(&mut queue, &mut batch, 3));
+        assert_eq!(queue.len(), 2);
+    }
+}

@@ -50,7 +50,19 @@ pub struct VisionTransformer {
     head: Linear,
 }
 
+// A serving worker pool owns models and moves them across threads; a future
+// non-`Send`/`Sync` field (an `Rc`, a raw pointer cache) must fail to build
+// here, not at the distant engine or server spawn site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VisionTransformer>();
+};
+
 impl VisionTransformer {
+    /// Canonical variant label this backend registers in engine and serving
+    /// report tables.
+    pub const VARIANT: &'static str = "dense";
+
     /// Creates a randomly-initialized model.
     ///
     /// # Panics

@@ -11,7 +11,7 @@
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
-//! assert_eq!(Engine::new(model).model().variant(), "dense");
+//! assert_eq!(Engine::builder(model).build().model().variant(), "dense");
 //! ```
 
 #![warn(missing_docs)]
