@@ -34,8 +34,9 @@ pub fn adaptive_pruned(backbone: VisionTransformer, seed: u64) -> PrunedViT {
     let dim = backbone.config().embed_dim;
     let heads = backbone.config().num_heads;
     let mut model = PrunedViT::new(backbone);
-    model.insert_selector(1, TokenSelector::new(dim, heads, &mut rng));
-    model.insert_selector(3, TokenSelector::new(dim, heads, &mut rng));
+    for &block in &DEMO_SELECTOR_BLOCKS {
+        model.insert_selector(block, TokenSelector::new(dim, heads, &mut rng));
+    }
     model
 }
 
@@ -44,16 +45,11 @@ pub fn adaptive_pruned(backbone: VisionTransformer, seed: u64) -> PrunedViT {
 pub fn static_pruned(backbone: VisionTransformer) -> StaticPrunedViT {
     StaticPrunedViT::new(
         backbone,
-        vec![
-            StaticStage {
-                block: 1,
-                keep_ratio: 0.7,
-            },
-            StaticStage {
-                block: 3,
-                keep_ratio: 0.6,
-            },
-        ],
+        DEMO_SELECTOR_BLOCKS
+            .iter()
+            .zip(DEMO_STAGE_KEEPS.iter())
+            .map(|(&block, &keep_ratio)| StaticStage { block, keep_ratio })
+            .collect(),
         StaticRule::CliffAttention,
         0,
     )
@@ -122,6 +118,38 @@ pub fn token_matrix(n: usize, d: usize, seed: u64) -> Tensor {
     Tensor::rand_normal(&[n, d], 0.0, 1.0, &mut rng)
 }
 
+/// Blocks the hand-placed two-stage demo schedule installs selectors in
+/// front of (shared by [`adaptive_pruned`], [`static_pruned`], and the
+/// `train_demo` students so every variant prunes at the same depths).
+pub const DEMO_SELECTOR_BLOCKS: [usize; 2] = [1, 3];
+
+/// Per-stage keep ratios of the hand-placed two-stage demo schedule
+/// (each stage's fraction of *incoming* patch tokens, the convention
+/// [`StaticStage::keep_ratio`] and the trainer's keep targets share).
+pub const DEMO_STAGE_KEEPS: [f32; 2] = [0.7, 0.6];
+
+/// The hand-placed two-stage schedule in the paper's *cumulative* notation:
+/// the per-stage ratios of [`DEMO_STAGE_KEEPS`] at the
+/// [`DEMO_SELECTOR_BLOCKS`] placements compound to 0.7 and 0.42 of the
+/// original patch tokens. This is the baseline the learned block-to-stage
+/// pipeline is compared against.
+pub fn hand_placed_schedule() -> heatvit_selector::PruningSchedule {
+    let mut cumulative = 1.0f32;
+    heatvit_selector::PruningSchedule::new(
+        DEMO_SELECTOR_BLOCKS
+            .iter()
+            .zip(DEMO_STAGE_KEEPS.iter())
+            .map(|(&block, &keep)| {
+                cumulative *= keep;
+                heatvit_selector::SelectorPlacement {
+                    block,
+                    target_keep: cumulative,
+                }
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +168,16 @@ mod tests {
 
         let stat = static_pruned(b);
         assert_eq!(stat.infer(img).tokens_per_block.len(), 6);
+    }
+
+    #[test]
+    fn hand_placed_schedule_compounds_the_stage_keeps() {
+        let s = hand_placed_schedule();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.placements()[0].block, DEMO_SELECTOR_BLOCKS[0]);
+        assert!((s.placements()[0].target_keep - 0.7).abs() < 1e-6);
+        assert_eq!(s.placements()[1].block, DEMO_SELECTOR_BLOCKS[1]);
+        assert!((s.placements()[1].target_keep - 0.42).abs() < 1e-6);
     }
 
     #[test]

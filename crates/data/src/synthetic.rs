@@ -271,7 +271,11 @@ impl SyntheticDataset {
 
     /// Splits into `(train, val)` with `val_fraction` of samples held out.
     ///
-    /// The split is by stride so both halves stay class-balanced.
+    /// The stride is applied to each sample's occurrence index *within its
+    /// class*, so both halves stay class-balanced for every fraction. (A
+    /// positional stride would alias with the label cycle whenever the
+    /// stride divides the class count — e.g. 8 classes at `val_fraction
+    /// 0.25` would hold out only classes 3 and 7.)
     ///
     /// # Panics
     ///
@@ -284,7 +288,10 @@ impl SyntheticDataset {
         let stride = (1.0 / val_fraction).round().max(2.0) as usize;
         let mut train = Vec::new();
         let mut val = Vec::new();
-        for (i, s) in self.samples.iter().enumerate() {
+        let mut occurrence = vec![0usize; self.config.num_classes];
+        for s in self.samples.iter() {
+            let i = occurrence[s.label];
+            occurrence[s.label] += 1;
             if i % stride == stride - 1 {
                 val.push(s.clone());
             } else {
@@ -372,7 +379,31 @@ mod tests {
         let ds = SyntheticDataset::generate(SyntheticConfig::tiny(), 40, 2);
         let (train, val) = ds.split(0.25);
         assert_eq!(train.len() + val.len(), 40);
-        assert_eq!(val.len(), 10);
+        // 4 classes × 10 occurrences, every 4th occurrence per class held
+        // out: 2 per class.
+        assert_eq!(val.len(), 8);
+    }
+
+    #[test]
+    fn split_holds_out_every_class_even_when_stride_divides_class_count() {
+        // Regression: 8 cycling classes with a positional stride of 4 used
+        // to put only classes 3 and 7 in the validation half.
+        let mut cfg = SyntheticConfig::micro();
+        cfg.num_classes = 8;
+        let ds = SyntheticDataset::generate(cfg, 64, 0);
+        let (train, val) = ds.split(0.25);
+        for half in [&train, &val] {
+            let mut counts = [0usize; 8];
+            for s in half.iter() {
+                counts[s.label] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "every class must appear in both halves, got {counts:?}"
+            );
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(max - min <= 1, "halves must stay balanced, got {counts:?}");
+        }
     }
 
     #[test]

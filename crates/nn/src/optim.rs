@@ -195,13 +195,21 @@ impl Optimizer for AdamW {
 
 /// Cosine learning-rate schedule with linear warmup (the DeiT recipe).
 ///
+/// Warmup is strictly increasing and anchored at both ends: step 0 runs at
+/// `peak_lr / (warmup_steps + 1)` (never 0, so the first optimizer steps are
+/// not wasted) and the peak is reached exactly once, at `step ==
+/// warmup_steps`, where the cosine decay takes over. Past `total_steps` the
+/// rate clamps to `min_lr` — it never decays below it.
+///
 /// # Examples
 ///
 /// ```
 /// use heatvit_nn::optim::CosineSchedule;
 ///
 /// let sched = CosineSchedule::new(1.0, 0.1, 10, 100);
+/// assert!(sched.lr_at(0) > 0.0);                    // never starts at 0
 /// assert!(sched.lr_at(0) < sched.lr_at(9));         // warming up
+/// assert!(sched.lr_at(9) < sched.lr_at(10));        // peak not hit early
 /// assert!((sched.lr_at(10) - 1.0).abs() < 1e-6);    // peak after warmup
 /// assert!((sched.lr_at(100) - 0.1).abs() < 1e-6);   // decayed to min
 /// ```
@@ -233,7 +241,10 @@ impl CosineSchedule {
     /// Learning rate at `step` (clamped to the final value past the end).
     pub fn lr_at(&self, step: u64) -> f32 {
         if self.warmup_steps > 0 && step < self.warmup_steps {
-            return self.peak_lr * (step + 1) as f32 / self.warmup_steps as f32;
+            // `(step + 1) / (warmup + 1)` keeps warmup strictly below the
+            // peak: the old `/ warmup` form already ran at `peak_lr` on step
+            // `warmup - 1`, duplicating the peak and cutting warmup short.
+            return self.peak_lr * (step + 1) as f32 / (self.warmup_steps + 1) as f32;
         }
         let progress = (step - self.warmup_steps) as f32
             / (self.total_steps - self.warmup_steps).max(1) as f32;
@@ -332,5 +343,48 @@ mod tests {
             assert!(lr <= last + 1e-6);
             last = lr;
         }
+    }
+
+    #[test]
+    fn cosine_schedule_pins_step0_warmup_end_and_final_step() {
+        let (peak, min, warmup, total) = (0.8f32, 0.05f32, 10u64, 100u64);
+        let sched = CosineSchedule::new(peak, min, warmup, total);
+        // Step 0: one warmup increment above zero — the trainer must never
+        // silently start at lr = 0.
+        let lr0 = sched.lr_at(0);
+        assert!(lr0 > 0.0);
+        assert!((lr0 - peak / (warmup + 1) as f32).abs() < 1e-7);
+        // Warmup stays strictly below the peak until the handoff step...
+        for step in 0..warmup {
+            assert!(sched.lr_at(step) < peak);
+            assert!(sched.lr_at(step) < sched.lr_at(step + 1));
+        }
+        // ...and the peak is hit exactly at `warmup_steps`.
+        assert_eq!(sched.lr_at(warmup), peak);
+        // The final step decays to the floor, and the schedule clamps there
+        // rather than overshooting below it.
+        assert!((sched.lr_at(total) - min).abs() < 1e-6);
+        assert!((sched.lr_at(total + 1_000) - min).abs() < 1e-6);
+        for step in 0..=total + 10 {
+            assert!(sched.lr_at(step) >= min - 1e-6);
+            assert!(sched.lr_at(step) <= peak + 1e-6);
+        }
+    }
+
+    #[test]
+    fn cosine_schedule_without_warmup_starts_at_peak() {
+        let sched = CosineSchedule::new(1.0, 0.1, 0, 40);
+        assert_eq!(sched.lr_at(0), 1.0);
+        assert!((sched.lr_at(40) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_schedule_applies_to_optimizer() {
+        let sched = CosineSchedule::new(1.0, 0.0, 4, 20);
+        let mut opt = Sgd::new(0.5);
+        sched.apply(&mut opt, 4);
+        assert_eq!(opt.learning_rate(), 1.0);
+        sched.apply(&mut opt, 20);
+        assert!(opt.learning_rate().abs() < 1e-6);
     }
 }

@@ -137,7 +137,7 @@ pub fn softmax_approx_rows_inplace(x: &mut Tensor, delta2: f32) {
     }
 }
 
-/// Piecewise-linear sigmoid (PLAN, Tsmots et al. — paper reference [46]).
+/// Piecewise-linear sigmoid (PLAN, Tsmots et al. — paper reference \[46\]).
 pub fn sigmoid_plan(x: f32) -> f32 {
     let a = x.abs();
     let y = if a >= 5.0 {

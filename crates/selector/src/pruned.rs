@@ -36,6 +36,18 @@ pub struct PrunedTrainOutput {
     /// Mean Gumbel-soft keep probability per selector (`[1]` nodes) — the
     /// `D̂` term of the latency-sparsity loss (paper Eq. 20).
     pub selector_keep_means: Vec<Var>,
+    /// Mean straight-through mask per selector (`[1]` nodes): the forward
+    /// value is the *hard* keep fraction this Gumbel draw actually
+    /// executed, while gradients flow through the soft relaxation. An
+    /// observability output — the latency-sparsity penalty itself is built
+    /// on [`PrunedTrainOutput::selector_keep_scores`].
+    pub selector_mask_means: Vec<Var>,
+    /// Exact keep-probability column per selector (`[N]` nodes, `N` = patch
+    /// tokens entering that selector). The deterministic inference path
+    /// thresholds these same scores at 0.5, so a loss built on them (the
+    /// latency-sparsity ratio surrogate and the decisiveness regularizer)
+    /// controls the keep rate the deployed model actually executes.
+    pub selector_keep_scores: Vec<Var>,
     /// Hard keep fraction per selector for monitoring.
     pub selector_keep_fractions: Vec<f32>,
     /// Token count entering each block.
@@ -125,6 +137,27 @@ impl PrunedViT {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Parameters of the installed selectors only, in block order — what the
+    /// selector-tuning phase of the training loop steps while the backbone
+    /// stays frozen at its (teacher) weights.
+    pub fn selector_params(&self) -> Vec<&Param> {
+        self.selectors
+            .iter()
+            .flatten()
+            .flat_map(|s| s.params())
+            .collect()
+    }
+
+    /// Mutable access to the selector parameters only (see
+    /// [`PrunedViT::selector_params`]).
+    pub fn selector_params_mut(&mut self) -> Vec<&mut Param> {
+        self.selectors
+            .iter_mut()
+            .flatten()
+            .flat_map(|s| s.params_mut())
             .collect()
     }
 
@@ -240,6 +273,8 @@ impl PrunedViT {
     ) -> PrunedTrainOutput {
         let mut tokens = self.backbone.patch_embed().forward(tape, image);
         let mut keep_means = Vec::new();
+        let mut mask_means = Vec::new();
+        let mut score_vars = Vec::new();
         let mut fractions = Vec::new();
         let mut tokens_per_block = Vec::with_capacity(self.backbone.config().depth);
         for (block, selector) in self.backbone.blocks().iter().zip(self.selectors.iter()) {
@@ -261,6 +296,8 @@ impl PrunedViT {
                     .collect();
                 fractions.push(kept.len() as f32 / decision.keep_hard.len() as f32);
                 keep_means.push(tape.mean_all(decision.keep_soft));
+                mask_means.push(tape.mean_all(decision.mask_st));
+                score_vars.push(decision.keep_scores);
 
                 let cls = tape.slice_rows(tokens, 0, 1);
                 let kept_tokens = tape.gather_rows(patches, &kept);
@@ -286,6 +323,8 @@ impl PrunedViT {
         PrunedTrainOutput {
             logits: self.backbone.classify_tokens(tape, tokens),
             selector_keep_means: keep_means,
+            selector_mask_means: mask_means,
+            selector_keep_scores: score_vars,
             selector_keep_fractions: fractions,
             tokens_per_block,
         }
@@ -402,6 +441,46 @@ mod tests {
             assert!((0.0..=1.0).contains(&v));
         }
         assert_eq!(tape.dims(out.logits), &[1, 4]);
+    }
+
+    #[test]
+    fn mask_mean_forward_equals_hard_fraction() {
+        let (model, mut rng) = pruned_model(7);
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let out = model.forward_train(&mut tape, &image, &mut rng);
+        assert_eq!(out.selector_mask_means.len(), 2);
+        for (&m, &frac) in out
+            .selector_mask_means
+            .iter()
+            .zip(out.selector_keep_fractions.iter())
+        {
+            let v = tape.value(m).data()[0];
+            assert!(
+                (v - frac).abs() < 1e-6,
+                "ST mask mean {v} must forward the hard keep fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn selector_params_cover_exactly_the_installed_selectors() {
+        let (mut model, _) = pruned_model(8);
+        let expected: usize = model
+            .selectors()
+            .iter()
+            .flatten()
+            .map(|s| s.params().len())
+            .sum();
+        assert!(expected > 0);
+        assert_eq!(model.selector_params().len(), expected);
+        assert_eq!(model.selector_params_mut().len(), expected);
+        // Selector params are disjoint from the backbone's.
+        let backbone_ids: std::collections::HashSet<u64> =
+            model.backbone().params().iter().map(|p| p.id()).collect();
+        for p in model.selector_params() {
+            assert!(!backbone_ids.contains(&p.id()));
+        }
     }
 
     #[test]

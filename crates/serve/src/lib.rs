@@ -66,6 +66,6 @@ mod report;
 mod request;
 mod server;
 
-pub use report::{FlushCounts, FlushReason, ServeReport};
+pub use report::{FlushCounts, FlushReason, ServeReport, MAX_LATENCY_SAMPLES};
 pub use request::{InferRequest, InferResponse, Priority, SubmitError, Ticket};
 pub use server::{ServeConfig, Server};

@@ -54,7 +54,7 @@ impl FlushCounts {
 /// representative. The worst case is exact for the first 64k requests and
 /// a deterministic 1-in-2ᵏ sample thereafter; the maximum is tracked
 /// exactly regardless.
-const MAX_LATENCY_SAMPLES: usize = 1 << 16;
+pub const MAX_LATENCY_SAMPLES: usize = 1 << 16;
 
 /// Running accumulator behind [`ServeReport`]. One per server, updated
 /// under its own lock per flushed batch (never inside the compute path;

@@ -116,7 +116,7 @@ pub mod collection {
     use super::{Range, RangeInclusive, StdRng, Strategy};
     use rand::Rng;
 
-    /// Admissible length specifications for [`vec`].
+    /// Admissible length specifications for [`vec()`].
     pub trait IntoSizeRange {
         /// Lower and upper bound (inclusive) on the length.
         fn bounds(&self) -> (usize, usize);
@@ -141,7 +141,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         min: usize,

@@ -1,11 +1,39 @@
 //! # heatvit-train
 //!
-//! Training loops for the HeatViT reproduction: DeiT-style distillation and
-//! the latency-aware sparsity loss (paper Eq. 20) over `PrunedViT`.
+//! The training subsystem of the HeatViT reproduction: DeiT-style
+//! distillation plus the latency-aware sparsity loss (paper Eq. 20) over
+//! `PrunedViT`'s differentiable forward.
 //!
-//! Placeholder: the autograd substrate (`heatvit-nn`), the selector's
-//! differentiable path (`PrunedViT::forward_train`), and the batched engine
-//! (`heatvit::Engine`) are in place; the epoch loop, loss schedule, and
-//! checkpointing land in a follow-up PR (see `ROADMAP.md` → Open items).
+//! The pipeline mirrors the paper's training recipe:
+//!
+//! 1. [`Trainer::fit_dense`] trains (or fine-tunes) a dense
+//!    [`VisionTransformer`](heatvit_vit::VisionTransformer) with plain
+//!    cross-entropy — the frozen teacher.
+//! 2. [`Trainer::fit`] tunes the token selectors of a
+//!    [`PrunedViT`](heatvit_selector::PrunedViT) student under the composed
+//!    objective `(1 − α)·CE + α·T²·KL(teacher ‖ student) + β·L_ratio`,
+//!    where [`LatencySparsityLoss`] weights each selector's keep-rate error
+//!    by the share of model compute it governs.
+//! 3. [`learned_schedule`] converts the measured per-stage keep rates into
+//!    a cumulative [`PruningSchedule`](heatvit_selector::PruningSchedule),
+//!    which `merge_similar` consolidates into the paper's stage notation
+//!    (Algorithm 1, Step 2) for comparison against hand-placed schedules.
+//!
+//! Every fit is bitwise deterministic in its configuration and seed: two
+//! runs produce identical selector weights and identical [`TrainReport`]s.
 
 #![warn(missing_docs)]
+
+mod config;
+mod loss;
+mod report;
+mod schedule;
+mod trainer;
+
+pub use config::TrainConfig;
+pub use loss::{
+    distillation_targets, LatencySparsityLoss, KEEP_PULL_BIAS, THRESHOLD_SURROGATE_TEMP,
+};
+pub use report::{TrainReport, TrainRun};
+pub use schedule::learned_schedule;
+pub use trainer::Trainer;

@@ -1,0 +1,354 @@
+//! The HeatViT training objective (paper Eq. 20).
+//!
+//! The full loss is `(1 − α)·CE + α·T²·KL(teacher ‖ student) + β·L_ratio`,
+//! where `L_ratio` penalizes each selector's executed keep fraction away
+//! from its per-stage target, weighted by the share of model compute that
+//! selector governs — the *latency-aware* part of the sparsity loss: a
+//! selector sitting in front of many (or expensive) blocks moves on-device
+//! latency more per kept token, so missing its target costs more.
+
+use heatvit_nn::{Tape, Var};
+use heatvit_tensor::Tensor;
+use heatvit_vit::flops::BlockComplexity;
+use heatvit_vit::ViTConfig;
+
+/// Sharpness of the differentiable threshold surrogate: the executed keep
+/// fraction `#{s > 0.5}/N` is estimated as `mean(σ((s − 0.5)/T))` with this
+/// `T`. Small enough that the estimate tracks the hard count once scores
+/// move a few percent off the threshold, large enough that near-threshold
+/// tokens still receive gradient.
+pub const THRESHOLD_SURROGATE_TEMP: f32 = 0.1;
+
+/// Asymmetry of the rank-target MSE: errors on tokens the budget wants
+/// *kept* weigh this much more than errors on tokens it wants pruned.
+///
+/// Because keep decisions are image-adaptive, a boundary token is in the
+/// kept set for some images and out for others; under a symmetric pull its
+/// score equilibrates at its membership probability, which leaves tokens
+/// with 50/50 membership *below* the 0.5 inference threshold and the
+/// executed keep rate systematically under the budget. Weighting the
+/// keep-side pull by `ψ` moves the equilibrium to `ψp / (1 + (ψ−1)p)`, so a
+/// boundary token clears the threshold once its membership probability
+/// exceeds `1/(ψ+1)` — with `ψ = 1.5`, tokens kept in at least ~40 % of
+/// images survive thresholding, cancelling the undershoot.
+pub const KEEP_PULL_BIAS: f32 = 1.5;
+
+/// The Eq. 20 latency-sparsity penalty, precomputed for one selector layout.
+///
+/// `penalty = Σ_s w_s · [(keep̂_s − target_s)² + λ·spread_s]`, with `w_s`
+/// the fraction of dense backbone MACs executed by the blocks selector `s`
+/// governs (its own block up to the next selector), normalized to mean 1 so
+/// `β` keeps the same magnitude regardless of how many selectors are
+/// installed.
+///
+/// `keep̂_s` is a sharp-sigmoid estimate
+/// (`mean(σ((s − 0.5) / `[`THRESHOLD_SURROGATE_TEMP`]`))`) of the fraction
+/// of tokens whose exact keep score clears the 0.5 decision threshold —
+/// the keep rate the deterministic inference path (and the accelerator)
+/// actually executes, which is the paper's `D̂` once training converges.
+/// Penalizing a plain score *mean* instead has a degenerate optimum where
+/// every score settles uniformly at the target probability and the
+/// threshold then prunes nothing.
+///
+/// `spread_s` is the decisiveness term: the per-token MSE between the
+/// scores and the hard decision the keep budget currently implies (the top
+/// `⌈target·N⌉` tokens by score → 1, the rest → 0). The mean term alone
+/// gives every token an almost identical gradient, so scores drift *as a
+/// pack* and saturate on one side of the threshold; the rank-assigned
+/// targets break that symmetry, bimodalize the scores, and pin the
+/// thresholded count at the budget. Which tokens land in the kept set is
+/// decided by the current score ranking — initially arbitrary, then
+/// refined by the task gradient as pruning starts to bite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySparsityLoss {
+    targets: Vec<f32>,
+    weights: Vec<f32>,
+    decisiveness_weight: f32,
+}
+
+impl LatencySparsityLoss {
+    /// Builds the penalty for selectors at `selector_blocks` (sorted, as
+    /// returned by `PrunedViT::selector_blocks`) with one per-stage keep
+    /// target each and the decisiveness weight `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != selector_blocks.len()`, a block index is
+    /// out of range or unsorted, a target is outside `(0, 1]`, or
+    /// `decisiveness_weight < 0`.
+    pub fn new(
+        config: &ViTConfig,
+        selector_blocks: &[usize],
+        targets: &[f32],
+        decisiveness_weight: f32,
+    ) -> Self {
+        assert!(
+            decisiveness_weight >= 0.0,
+            "decisiveness weight must be non-negative"
+        );
+        assert_eq!(
+            selector_blocks.len(),
+            targets.len(),
+            "one keep target per selector required"
+        );
+        for &t in targets {
+            assert!(t > 0.0 && t <= 1.0, "keep targets must be in (0, 1]");
+        }
+        let mut weights = Vec::with_capacity(selector_blocks.len());
+        for (i, &block) in selector_blocks.iter().enumerate() {
+            assert!(block < config.depth, "selector block out of range");
+            if i + 1 < selector_blocks.len() {
+                assert!(
+                    selector_blocks[i + 1] > block,
+                    "selector blocks must be strictly increasing"
+                );
+            }
+            let end = selector_blocks.get(i + 1).copied().unwrap_or(config.depth);
+            // Every block runs the same MACs at full tokens, so the
+            // governed share is block-count × the per-block cost.
+            let block_macs = BlockComplexity::new(config, config.num_tokens()).total();
+            weights.push((end - block) as f32 * block_macs as f32);
+        }
+        let mean = weights.iter().sum::<f32>() / weights.len().max(1) as f32;
+        if mean > 0.0 {
+            for w in &mut weights {
+                *w /= mean;
+            }
+        }
+        Self {
+            targets: targets.to_vec(),
+            weights,
+            decisiveness_weight,
+        }
+    }
+
+    /// The per-stage keep targets.
+    pub fn targets(&self) -> &[f32] {
+        &self.targets
+    }
+
+    /// The normalized latency weights (mean 1 across selectors).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Number of selectors the penalty covers.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `true` when no selectors are covered (the penalty is then the
+    /// constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The decisiveness weight `λ`.
+    pub fn decisiveness_weight(&self) -> f32 {
+        self.decisiveness_weight
+    }
+
+    /// Records the penalty on the tape from one exact keep-score vector per
+    /// selector (`PrunedTrainOutput::selector_keep_scores` — `[N]` nodes of
+    /// per-token keep probabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the configured selector
+    /// count.
+    pub fn penalty(&self, tape: &mut Tape, keep_scores: &[Var]) -> Var {
+        assert_eq!(
+            keep_scores.len(),
+            self.targets.len(),
+            "one keep-score vector per selector required"
+        );
+        let mut total = tape.scalar(0.0);
+        for ((&s, &t), &w) in keep_scores
+            .iter()
+            .zip(self.targets.iter())
+            .zip(self.weights.iter())
+        {
+            // Differentiable estimate of the thresholded keep fraction.
+            let shifted = tape.add_scalar(s, -0.5);
+            let sharpened = tape.scale(shifted, 1.0 / THRESHOLD_SURROGATE_TEMP);
+            let indicator = tape.sigmoid(sharpened);
+            let keep_est = tape.mean_all(indicator);
+            let target = tape.scalar(t);
+            let diff = tape.sub(keep_est, target);
+            let mut term = tape.mul(diff, diff);
+            if self.decisiveness_weight > 0.0 {
+                let rank_targets = budget_rank_targets(tape.value(s), t);
+                // Asymmetric MSE: mean(ψ_i · (s_i − t_i)²) with ψ_i =
+                // KEEP_PULL_BIAS on kept targets, 1 on pruned ones,
+                // normalized to mean 1 so λ keeps its scale.
+                let pulls: Vec<f32> = rank_targets
+                    .data()
+                    .iter()
+                    .map(|&t| if t > 0.5 { KEEP_PULL_BIAS } else { 1.0 })
+                    .collect();
+                let pull_mean = pulls.iter().sum::<f32>() / pulls.len().max(1) as f32;
+                let pulls = Tensor::from_vec(
+                    pulls.iter().map(|p| p / pull_mean).collect(),
+                    rank_targets.dims(),
+                );
+                let neg_targets = rank_targets.scale(-1.0);
+                let err = tape.add_const(s, neg_targets);
+                let sq = tape.mul(err, err);
+                let weighted_sq = tape.mul_const(sq, pulls);
+                let rank_mse = tape.mean_all(weighted_sq);
+                let weighted_mse = tape.scale(rank_mse, self.decisiveness_weight);
+                term = tape.add(term, weighted_mse);
+            }
+            let weighted = tape.scale(term, w);
+            total = tape.add(total, weighted);
+        }
+        total
+    }
+}
+
+/// The hard `{0, 1}` targets the keep budget implies for one score vector:
+/// the top `⌈target·N⌉` tokens by current score get 1, the rest 0 (at least
+/// one token is always kept, matching the selector's keep-at-least-one
+/// rule).
+fn budget_rank_targets(scores: &Tensor, target_keep: f32) -> Tensor {
+    let n = scores.numel();
+    let k = ((target_keep * n as f32).round() as usize).clamp(1, n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores.data()[b].total_cmp(&scores.data()[a]));
+    let mut targets = vec![0.0f32; n];
+    for &i in &order[..k] {
+        targets[i] = 1.0;
+    }
+    Tensor::from_vec(targets, scores.dims())
+}
+
+/// Softened teacher distribution for [`Tape::distill_kl`]: the row-wise
+/// softmax of `teacher_logits / temperature`.
+///
+/// # Panics
+///
+/// Panics if `temperature <= 0`.
+pub fn distillation_targets(teacher_logits: &Tensor, temperature: f32) -> Tensor {
+    assert!(temperature > 0.0, "temperature must be positive");
+    teacher_logits.scale(1.0 / temperature).softmax_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score_leaf(tape: &mut Tape, scores: &[f32]) -> Var {
+        tape.leaf(Tensor::from_vec(scores.to_vec(), &[scores.len()]))
+    }
+
+    #[test]
+    fn weights_favor_selectors_governing_more_blocks() {
+        let cfg = ViTConfig::micro(8);
+        // Selector at block 1 governs blocks 1–2; at block 3 governs 3–5.
+        let loss = LatencySparsityLoss::new(&cfg, &[1, 3], &[0.7, 0.6], 0.0);
+        assert_eq!(loss.len(), 2);
+        assert!(loss.weights()[1] > loss.weights()[0]);
+        let mean = loss.weights().iter().sum::<f32>() / 2.0;
+        assert!((mean - 1.0).abs() < 1e-6, "weights must be mean-normalized");
+    }
+
+    #[test]
+    fn penalty_is_small_at_target_and_grows_off_target() {
+        let cfg = ViTConfig::micro(8);
+        let loss = LatencySparsityLoss::new(&cfg, &[2], &[0.5], 0.0);
+        let eval = |scores: &[f32]| {
+            let mut tape = Tape::new();
+            let s = score_leaf(&mut tape, scores);
+            let p = loss.penalty(&mut tape, &[s]);
+            tape.value(p).data()[0]
+        };
+        // Decisive scores keeping exactly half: surrogate ≈ hard count.
+        let on_target = eval(&[0.95, 0.95, 0.05, 0.05]);
+        let keep_all = eval(&[0.95, 0.95, 0.95, 0.95]);
+        let keep_none = eval(&[0.05, 0.05, 0.05, 0.05]);
+        assert!(on_target < 1e-3, "on-target penalty {on_target}");
+        assert!(keep_all > 0.2, "keep-all penalty {keep_all}");
+        assert!(keep_none > 0.2, "keep-none penalty {keep_none}");
+    }
+
+    #[test]
+    fn decisiveness_term_penalizes_undecided_scores() {
+        let cfg = ViTConfig::micro(8);
+        let with_dec = LatencySparsityLoss::new(&cfg, &[2], &[0.5], 2.0);
+        let without = LatencySparsityLoss::new(&cfg, &[2], &[0.5], 0.0);
+        assert_eq!(with_dec.decisiveness_weight(), 2.0);
+        let eval = |loss: &LatencySparsityLoss, scores: &[f32]| {
+            let mut tape = Tape::new();
+            let s = score_leaf(&mut tape, scores);
+            let p = loss.penalty(&mut tape, &[s]);
+            tape.value(p).data()[0]
+        };
+        // Undecided scores pay the λ·MSE(s, rank targets) surcharge: with a
+        // 0.5 budget over [0.55, 0.55, 0.45, 0.45] the rank targets are
+        // [1, 1, 0, 0], so the MSE is 0.45².
+        let undecided = [0.55, 0.55, 0.45, 0.45];
+        let surcharge = eval(&with_dec, &undecided) - eval(&without, &undecided);
+        assert!((surcharge - 2.0 * 0.45 * 0.45).abs() < 0.01);
+        // Decisive on-budget scores pay almost nothing extra.
+        let decisive = [0.99, 0.99, 0.01, 0.01];
+        assert!(eval(&with_dec, &decisive) - eval(&without, &decisive) < 0.05);
+    }
+
+    #[test]
+    fn budget_rank_targets_keep_the_top_scores() {
+        let scores = Tensor::from_vec(vec![0.2, 0.9, 0.6, 0.1], &[4]);
+        let t = budget_rank_targets(&scores, 0.5);
+        assert_eq!(t.data(), &[0.0, 1.0, 1.0, 0.0]);
+        // The keep-at-least-one rule survives a tiny budget.
+        let t = budget_rank_targets(&scores, 0.01);
+        assert_eq!(t.data().iter().sum::<f32>(), 1.0);
+        assert_eq!(t.data()[1], 1.0);
+    }
+
+    #[test]
+    fn penalty_gradient_prunes_the_weakest_token_first() {
+        let cfg = ViTConfig::micro(8);
+        let loss = LatencySparsityLoss::new(&cfg, &[2], &[0.5], 0.0);
+        let mut tape = Tape::new();
+        // Keeping 3/4 with a target of 1/2: scores must come down.
+        let s = score_leaf(&mut tape, &[0.95, 0.7, 0.55, 0.05]);
+        let p = loss.penalty(&mut tape, &[s]);
+        let grads = tape.backward(p);
+        let g = grads.get(s).expect("scores must receive gradient");
+        // All kept tokens push down (positive gradient under descent), and
+        // the token nearest the threshold feels it the strongest.
+        assert!(g.data()[2] > g.data()[1]);
+        assert!(g.data()[1] > g.data()[0]);
+        assert!(g.data()[2] > 0.0);
+    }
+
+    #[test]
+    fn empty_layout_yields_constant_zero() {
+        let cfg = ViTConfig::micro(8);
+        let loss = LatencySparsityLoss::new(&cfg, &[], &[], 1.0);
+        assert!(loss.is_empty());
+        let mut tape = Tape::new();
+        let p = loss.penalty(&mut tape, &[]);
+        assert_eq!(tape.value(p).data(), &[0.0]);
+    }
+
+    #[test]
+    fn distillation_targets_are_row_stochastic_and_softened() {
+        let logits = Tensor::from_vec(vec![2.0, 0.0, -1.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let sharp = distillation_targets(&logits, 1.0);
+        let soft = distillation_targets(&logits, 4.0);
+        for r in 0..2 {
+            let sum: f32 = sharp.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Higher temperature flattens the distribution.
+        assert!(soft.at(&[0, 0]) < sharp.at(&[0, 0]));
+        assert!(soft.at(&[0, 2]) > sharp.at(&[0, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one keep target per selector")]
+    fn rejects_mismatched_targets() {
+        LatencySparsityLoss::new(&ViTConfig::micro(8), &[1, 3], &[0.7], 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Learned keep rates → stage schedule (the block-to-stage pipeline).
+//!
+//! After selector tuning, each installed selector has an *empirical*
+//! per-stage keep rate (the mean hard keep fraction it executes on held-out
+//! data). This module turns those measurements into a
+//! [`PruningSchedule`] in the paper's cumulative notation, which
+//! [`PruningSchedule::merge_similar`] then consolidates into stages
+//! (Algorithm 1, Step 2) for comparison against hand-placed schedules.
+
+use heatvit_selector::{PruningSchedule, SelectorPlacement};
+
+/// Converts measured per-stage keep rates into a cumulative
+/// [`PruningSchedule`].
+///
+/// `stage_keeps[i]` is the fraction of *incoming* patch tokens selector `i`
+/// keeps (what [`crate::TrainReport::mean_keep`] reports); the cumulative
+/// ratio at each placement is the running product. Measurements are clamped
+/// into `(0, 1]` and made non-increasing, so noisy estimates (a stage
+/// measuring `1.02` from ceil-rounding, say) still produce a valid
+/// schedule.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, `selector_blocks` is not strictly
+/// increasing, or a measured keep rate is not positive.
+pub fn learned_schedule(selector_blocks: &[usize], stage_keeps: &[f32]) -> PruningSchedule {
+    assert_eq!(
+        selector_blocks.len(),
+        stage_keeps.len(),
+        "one measured keep rate per selector required"
+    );
+    let mut placements = Vec::with_capacity(selector_blocks.len());
+    let mut cumulative = 1.0f32;
+    for (&block, &keep) in selector_blocks.iter().zip(stage_keeps.iter()) {
+        assert!(keep > 0.0, "measured keep rates must be positive");
+        cumulative = (cumulative * keep.min(1.0)).clamp(f32::MIN_POSITIVE, 1.0);
+        placements.push(SelectorPlacement {
+            block,
+            target_keep: cumulative,
+        });
+    }
+    PruningSchedule::new(placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_ratios_are_running_products() {
+        let s = learned_schedule(&[1, 3], &[0.7, 0.6]);
+        assert_eq!(s.len(), 2);
+        assert!((s.placements()[0].target_keep - 0.7).abs() < 1e-6);
+        assert!((s.placements()[1].target_keep - 0.42).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_over_unit_measurements_are_clamped() {
+        let s = learned_schedule(&[0, 2, 4], &[1.02, 0.5, 1.0]);
+        assert_eq!(s.placements()[0].target_keep, 1.0);
+        assert!((s.placements()[1].target_keep - 0.5).abs() < 1e-6);
+        // A stage keeping everything leaves the cumulative ratio flat.
+        assert!((s.placements()[2].target_keep - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_measurement_yields_dense_schedule() {
+        let s = learned_schedule(&[], &[]);
+        assert!(s.is_empty());
+        assert!((s.mean_keep(6) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merges_adjacent_similar_learned_stages() {
+        // Two nearly identical consecutive stages collapse into one under
+        // the paper's 8.5 % tolerance; a genuinely deeper cut survives.
+        let s = learned_schedule(&[1, 2, 4], &[0.72, 0.98, 0.55]);
+        let merged = s.merge_similar(0.085);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.placements()[0].block, 1);
+        assert_eq!(merged.placements()[1].block, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one measured keep rate per selector")]
+    fn rejects_length_mismatch() {
+        learned_schedule(&[1, 3], &[0.7]);
+    }
+}

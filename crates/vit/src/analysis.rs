@@ -14,7 +14,7 @@ use heatvit_tensor::Tensor;
 /// same number of rows (examples).
 ///
 /// `CKA(X, Y) = ‖Yᶜᵀ·Xᶜ‖²_F / (‖Xᶜᵀ·Xᶜ‖_F · ‖Yᶜᵀ·Yᶜ‖_F)` with column-centered
-/// `Xᶜ`, `Yᶜ` (Kornblith et al., 2019 — the paper's reference [28]).
+/// `Xᶜ`, `Yᶜ` (Kornblith et al., 2019 — the paper’s reference \[28\]).
 ///
 /// # Panics
 ///
