@@ -10,7 +10,11 @@
 //!
 //! `--quick` shrinks the batch for CI smoke runs; the
 //! `HEATVIT_RUN_ALL_SAMPLES` environment variable overrides the batch size
-//! outright (it wins over `--quick`).
+//! outright (it wins over `--quick`). `--json <path>` additionally writes
+//! the table as a machine-readable report (one object per backend:
+//! images/s sequential and sharded, ms/image, MMACs, MAC speedup, final
+//! tokens, top-1 agreement) — the committed `BENCH_run_all.json` at the
+//! repo root is produced this way.
 //!
 //! Before timing, the binary asserts batched/single parity for every
 //! variant and sharded/sequential parity for the multi-threaded engine, so
@@ -20,6 +24,7 @@
 //! — all asserted, not just printed.
 
 use heatvit::{BackendKind, Engine, InferenceModel};
+use heatvit_bench::json::{self, JsonObject};
 use heatvit_bench::{build_backend, synthetic_batch};
 use heatvit_tensor::Tensor;
 
@@ -227,5 +232,31 @@ fn main() {
                 adaptive.thread_scaling()
             );
         }
+    }
+
+    if let Some(path) = json::path_from_args() {
+        let backends = json::array(rows.iter().map(|r| {
+            JsonObject::new()
+                .str("variant", r.kind.label())
+                .num("images_per_s", r.throughput)
+                .num("images_per_s_par", r.throughput_par)
+                .num("thread_scaling", r.thread_scaling())
+                .num("ms_per_image", r.ms_per_image)
+                .num("mmacs_per_image", r.mmacs)
+                .num("mac_speedup", r.mac_speedup)
+                .num("final_tokens", r.final_tokens)
+                .num("top1_agreement_vs_f32", agreement(r, reference))
+                .build()
+        }));
+        let report = JsonObject::new()
+            .str("bench", "run_all")
+            .int("batch", images.len() as u64)
+            .int("par_threads", PAR_THREADS as u64)
+            .int("hardware_threads", cores as u64)
+            .raw("backends", backends)
+            .build();
+        std::fs::write(&path, report + "\n")
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        println!("\nwrote {}", path.display());
     }
 }

@@ -18,8 +18,14 @@
 //!
 //! `--quick` shrinks the request count and sweep for CI smoke runs;
 //! `HEATVIT_SERVE_REQUESTS` overrides the per-run request count outright.
+//! `--json <path>` additionally writes the sweep as a machine-readable
+//! report (one object per backend × rate: offline capacity, target and
+//! offered rates, served images/s, p50/p95 latency, deadline-miss
+//! percentage, mean batch) — the committed `BENCH_serve.json` at the repo
+//! root is produced this way.
 
 use heatvit::{BackendKind, Engine};
+use heatvit_bench::json::{self, JsonObject};
 use heatvit_bench::{build_backend, synthetic_batch};
 use heatvit_serve::{InferRequest, Priority, ServeConfig, Server};
 use std::time::{Duration, Instant};
@@ -149,6 +155,7 @@ fn main() {
     );
     println!("{}", "-".repeat(116));
 
+    let mut json_runs: Vec<String> = Vec::new();
     for kind in BackendKind::ALL {
         // Offline capacity + the bitwise parity reference for this backend.
         let engine = Engine::builder(build_backend(kind)).build();
@@ -179,6 +186,19 @@ fn main() {
                 r.flushes.idle,
                 r.flushes.shutdown,
             );
+            json_runs.push(
+                JsonObject::new()
+                    .str("backend", kind.label())
+                    .num("capacity_images_per_s", capacity)
+                    .num("target_rate", result.target_rate)
+                    .num("offered_rate", result.offered_rate)
+                    .num("served_images_per_s", r.throughput)
+                    .num("p50_ms", r.p50_ms)
+                    .num("p95_ms", r.p95_ms)
+                    .num("miss_pct", r.miss_rate() * 100.0)
+                    .num("mean_batch", r.mean_batch)
+                    .build(),
+            );
         }
     }
 
@@ -191,4 +211,16 @@ fn main() {
         "deadline budget per backend: 3x a full max_batch of offline per-image time (>=5ms); \
          miss% reports responses resolved after their deadline — reported, never dropped"
     );
+
+    if let Some(path) = json::path_from_args() {
+        let report = JsonObject::new()
+            .str("bench", "serve_demo")
+            .int("requests_per_run", requests as u64)
+            .int("image_pool", IMAGE_POOL as u64)
+            .raw("runs", json::array(json_runs))
+            .build();
+        std::fs::write(&path, report + "\n")
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        println!("\nwrote {}", path.display());
+    }
 }

@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use heatvit::{Backend, BackendKind};
 use heatvit_data::{SyntheticConfig, SyntheticDataset};
 use heatvit_quant::{QuantPruneStage, QuantizedViT};

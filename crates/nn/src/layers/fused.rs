@@ -1,0 +1,150 @@
+//! Fused layer-norm + projection.
+//!
+//! A ViT block normalizes its input and immediately feeds the normalized
+//! activations into one or more linear projections (Q/K/V, or the FFN's
+//! first layer). The unfused path materializes the normalized `[N, dim]`
+//! matrix, writes it to memory, then reads it straight back for the GEMM.
+//! [`layer_norm_project_into`] instead streams [`crate::layers::LayerNorm`]
+//! output through the packed GEMM microkernel one register tile at a time,
+//! so normalized activations never round-trip through a temporary.
+//!
+//! Both the layer-norm arithmetic and the GEMM accumulation order are
+//! exactly those of the unfused entry points, so results are bit-identical —
+//! the batched-vs-single and parallel-vs-sequential parity guarantees of the
+//! inference engine are preserved for free.
+
+use crate::layers::{LayerNorm, Linear};
+use heatvit_tensor::{pack_b_into, packed_len, GemmScratch, Tensor, MR};
+
+/// Maximum number of projections a single fused call supports (Q, K, V and
+/// one spare). The QKV triple is the widest real call site.
+pub const MAX_FUSED_PROJECTIONS: usize = 4;
+
+/// Computes `outs[i] = projections[i].infer(ln.infer(x))` for every
+/// projection without materializing `ln.infer(x)`.
+///
+/// All projection weights are packed into `gs.pack` (at disjoint regions),
+/// then normalized row tiles of height [`MR`] are streamed straight into the
+/// packed microkernel once per projection. Values are bit-identical to the
+/// unfused two-step path.
+///
+/// # Panics
+///
+/// Panics if `x` is not `[N, ln.dim()]`, if any projection's input width
+/// differs from `ln.dim()`, if `projections.len() != outs.len()`, or if more
+/// than [`MAX_FUSED_PROJECTIONS`] projections are passed.
+pub fn layer_norm_project_into(
+    ln: &LayerNorm,
+    projections: &[&Linear],
+    x: &Tensor,
+    gs: &mut GemmScratch,
+    outs: &mut [&mut Tensor],
+) {
+    assert_eq!(
+        projections.len(),
+        outs.len(),
+        "one output tensor per projection"
+    );
+    assert!(
+        projections.len() <= MAX_FUSED_PROJECTIONS,
+        "at most {MAX_FUSED_PROJECTIONS} fused projections"
+    );
+    assert_eq!(x.dim(1), ln.dim(), "layernorm width mismatch");
+    let (rows, k) = (x.dim(0), x.dim(1));
+
+    // Pack every weight into one scratch buffer at per-layer offsets.
+    let mut offsets = [0usize; MAX_FUSED_PROJECTIONS + 1];
+    for (l, p) in projections.iter().enumerate() {
+        assert_eq!(p.in_features(), k, "projection input width mismatch");
+        offsets[l + 1] = offsets[l] + packed_len(k, p.out_features());
+    }
+    let total = offsets[projections.len()];
+    let GemmScratch { pack, tile } = gs;
+    pack.clear();
+    pack.resize(total, 0.0);
+    for (l, p) in projections.iter().enumerate() {
+        pack_b_into(
+            p.weight().value().data(),
+            k,
+            p.out_features(),
+            &mut pack[offsets[l]..offsets[l + 1]],
+        );
+    }
+    for (p, out) in projections.iter().zip(outs.iter_mut()) {
+        out.reset_unspecified(&[rows, p.out_features()]);
+    }
+
+    ln.infer_tiles(x, MR, tile, |r0, nr, t| {
+        for (l, p) in projections.iter().enumerate() {
+            let n = p.out_features();
+            let bias = p.bias().map(|b| b.value().data());
+            let out_rows = &mut outs[l].data_mut()[r0 * n..(r0 + nr) * n];
+            heatvit_tensor::gemm_packed_rows(
+                t,
+                nr,
+                k,
+                &pack[offsets[l]..offsets[l + 1]],
+                n,
+                bias,
+                out_rows,
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Module;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fused_is_bitwise_identical_to_unfused() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n_rows, dim) in [(1usize, 8usize), (5, 8), (9, 12), (197, 16)] {
+            let mut ln = LayerNorm::new(dim);
+            for (j, v) in ln.params_mut()[0]
+                .value_mut()
+                .data_mut()
+                .iter_mut()
+                .enumerate()
+            {
+                *v = 0.75 + j as f32 * 0.05;
+            }
+            let wq = Linear::new(dim, dim, true, &mut rng);
+            let wk = Linear::new(dim, dim, true, &mut rng);
+            let wv = Linear::new(dim, 2 * dim, false, &mut rng);
+            let x = Tensor::rand_normal(&[n_rows, dim], 0.0, 1.0, &mut rng);
+
+            let normed = ln.infer(&x);
+            let want = [wq.infer(&normed), wk.infer(&normed), wv.infer(&normed)];
+
+            let mut gs = GemmScratch::default();
+            let (mut q, mut k, mut v) = (Tensor::default(), Tensor::default(), Tensor::default());
+            layer_norm_project_into(
+                &ln,
+                &[&wq, &wk, &wv],
+                &x,
+                &mut gs,
+                &mut [&mut q, &mut k, &mut v],
+            );
+            assert_eq!(q.dims(), want[0].dims());
+            assert_eq!(q.data(), want[0].data(), "{n_rows}x{dim} q");
+            assert_eq!(k.data(), want[1].data(), "{n_rows}x{dim} k");
+            assert_eq!(v.data(), want[2].data(), "{n_rows}x{dim} v");
+        }
+    }
+
+    #[test]
+    fn single_projection_matches_linear_infer() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ln = LayerNorm::new(6);
+        let fc = Linear::new(6, 24, true, &mut rng);
+        let x = Tensor::rand_normal(&[4, 6], 0.0, 1.0, &mut rng);
+        let mut gs = GemmScratch::default();
+        let mut out = Tensor::default();
+        layer_norm_project_into(&ln, &[&fc], &x, &mut gs, &mut [&mut out]);
+        assert_eq!(out.data(), fc.infer(&ln.infer(&x)).data());
+    }
+}

@@ -1,7 +1,7 @@
 //! Fully-connected (linear) layer.
 
 use crate::{Module, Param, Tape, Var};
-use heatvit_tensor::Tensor;
+use heatvit_tensor::{GemmScratch, Tensor};
 use rand::Rng;
 
 /// A fully-connected layer `y = x·W + b`.
@@ -150,6 +150,22 @@ impl Linear {
         match &self.bias {
             Some(b) => x.matmul_bias_into(self.weight.value(), b.value(), out),
             None => x.matmul_into(self.weight.value(), out),
+        }
+    }
+
+    /// [`Linear::infer_into`] staging the packed weight panels in a
+    /// caller-owned [`GemmScratch`], so the hot path performs no per-call
+    /// heap allocation once the workspace is warm. Values are bit-identical
+    /// to every other inference entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, in_features]`.
+    pub fn infer_with(&self, x: &Tensor, gs: &mut GemmScratch, out: &mut Tensor) {
+        assert_eq!(x.dim(1), self.in_features, "linear input width mismatch");
+        match &self.bias {
+            Some(b) => x.matmul_bias_with(self.weight.value(), b.value(), gs, out),
+            None => x.matmul_with(self.weight.value(), gs, out),
         }
     }
 

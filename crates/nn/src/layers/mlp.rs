@@ -1,8 +1,8 @@
 //! Two-layer perceptron (the ViT FFN shape).
 
-use crate::layers::{Activation, Linear};
+use crate::layers::{layer_norm_project_into, Activation, LayerNorm, Linear};
 use crate::{Module, Param, Tape, Var};
-use heatvit_tensor::Tensor;
+use heatvit_tensor::{GemmScratch, Tensor};
 use rand::Rng;
 
 /// A two-layer MLP `x → act(x·W₁ + b₁)·W₂ + b₂`.
@@ -101,6 +101,42 @@ impl Mlp {
         self.fc2.infer_into(hidden, out);
     }
 
+    /// [`Mlp::infer_into`] staging packed weight panels in a caller-owned
+    /// [`GemmScratch`]. Values are bit-identical to every other inference
+    /// entry point.
+    pub fn infer_with(
+        &self,
+        x: &Tensor,
+        gs: &mut GemmScratch,
+        hidden: &mut Tensor,
+        out: &mut Tensor,
+    ) {
+        self.fc1.infer_with(x, gs, hidden);
+        self.act.apply_inplace(hidden);
+        self.fc2.infer_with(hidden, gs, out);
+    }
+
+    /// Computes `self.infer(ln.infer(x))` with the layer norm fused into the
+    /// first projection: normalized row tiles stream straight into the packed
+    /// GEMM microkernel, so the normalized `[N, dim]` activations never
+    /// materialize. Bit-identical to the unfused two-step path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, ln.dim()]` or `ln.dim() != in_features`.
+    pub fn infer_fused_ln_with(
+        &self,
+        ln: &LayerNorm,
+        x: &Tensor,
+        gs: &mut GemmScratch,
+        hidden: &mut Tensor,
+        out: &mut Tensor,
+    ) {
+        layer_norm_project_into(ln, &[&self.fc1], x, gs, &mut [hidden]);
+        self.act.apply_inplace(hidden);
+        self.fc2.infer_with(hidden, gs, out);
+    }
+
     /// Multiply–accumulate count for `n` input rows.
     pub fn macs(&self, n: usize) -> u64 {
         self.fc1.macs(n) + self.fc2.macs(n)
@@ -151,6 +187,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mlp = Mlp::new(10, 40, 10, Activation::Gelu, &mut rng);
         assert_eq!(mlp.macs(7), 7 * (10 * 40 + 40 * 10));
+    }
+
+    #[test]
+    fn scratch_and_fused_ln_paths_are_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(12, 48, 12, Activation::Gelu, &mut rng);
+        let ln = LayerNorm::new(12);
+        let x = Tensor::rand_normal(&[9, 12], 0.0, 1.0, &mut rng);
+        let normed = ln.infer(&x);
+        let want = mlp.infer(&normed);
+
+        let mut gs = GemmScratch::default();
+        let (mut hidden, mut out) = (Tensor::default(), Tensor::default());
+        mlp.infer_with(&normed, &mut gs, &mut hidden, &mut out);
+        assert_eq!(out.data(), want.data());
+
+        mlp.infer_fused_ln_with(&ln, &x, &mut gs, &mut hidden, &mut out);
+        assert_eq!(out.data(), want.data());
     }
 
     #[test]

@@ -94,6 +94,55 @@ impl LayerNorm {
             }
         }
     }
+
+    /// Streams the normalized rows of `x` through `consume` in tiles of up
+    /// to `rows_per_tile` rows, without materializing the full `[N, dim]`
+    /// output.
+    ///
+    /// `consume(r0, nr, tile)` receives the first row index, the number of
+    /// rows in this tile, and `nr` contiguous normalized rows. `tile_buf` is
+    /// the staging buffer (resized in place, reused across calls). The
+    /// per-element arithmetic is exactly that of [`LayerNorm::infer_into`],
+    /// so fused consumers see bit-identical values — this is the entry point
+    /// of the fused layer-norm + projection paths, which feed each tile
+    /// straight into the packed GEMM microkernel instead of round-tripping
+    /// the normalized activations through a `[N, dim]` temporary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, dim]` or `rows_per_tile` is zero.
+    pub fn infer_tiles<F>(
+        &self,
+        x: &Tensor,
+        rows_per_tile: usize,
+        tile_buf: &mut Vec<f32>,
+        mut consume: F,
+    ) where
+        F: FnMut(usize, usize, &[f32]),
+    {
+        assert_eq!(x.dim(1), self.dim, "layernorm width mismatch");
+        assert!(rows_per_tile > 0, "tile height must be positive");
+        let (rows, cols) = (x.dim(0), x.dim(1));
+        let (means, vars) = x.row_mean_var();
+        let g = self.gamma.value().data();
+        let b = self.beta.value().data();
+        tile_buf.clear();
+        tile_buf.resize(rows_per_tile * cols, 0.0);
+        let mut r0 = 0;
+        while r0 < rows {
+            let nr = rows_per_tile.min(rows - r0);
+            for r in 0..nr {
+                let inv_std = 1.0 / (vars[r0 + r] + self.eps).sqrt();
+                let xrow = x.row(r0 + r);
+                let trow = &mut tile_buf[r * cols..(r + 1) * cols];
+                for j in 0..cols {
+                    trow[j] = (xrow[j] - means[r0 + r]) * inv_std * g[j] + b[j];
+                }
+            }
+            consume(r0, nr, &tile_buf[..nr * cols]);
+            r0 += nr;
+        }
+    }
 }
 
 impl Module for LayerNorm {
@@ -145,6 +194,30 @@ mod tests {
         let y = ln.infer(&x);
         // Zero variance → x̂ = 0 → output = beta = 0.
         assert!(y.data().iter().all(|&v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn infer_tiles_is_bitwise_identical_to_infer_into() {
+        let mut ln = LayerNorm::new(7);
+        // Non-trivial affine so gamma/beta actually participate.
+        for (j, v) in ln.params_mut()[0]
+            .value_mut()
+            .data_mut()
+            .iter_mut()
+            .enumerate()
+        {
+            *v = 0.5 + j as f32 * 0.25;
+        }
+        let x = Tensor::from_fn(&[9, 7], |ix| (ix[0] * 7 + ix[1]) as f32 * 0.3 - 5.0);
+        let expect = ln.infer(&x);
+        for tile_rows in [1, 2, 4, 9, 16] {
+            let mut buf = Vec::new();
+            let mut got = vec![0.0f32; 0];
+            ln.infer_tiles(&x, tile_rows, &mut buf, |_r0, _nr, tile| {
+                got.extend_from_slice(tile);
+            });
+            assert_eq!(got, expect.data(), "tile height {tile_rows}");
+        }
     }
 
     #[test]

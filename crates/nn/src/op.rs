@@ -159,16 +159,27 @@ impl Op {
             Op::Add(a, b) => vec![(*a, grad.clone()), (*b, grad.clone())],
             Op::Sub(a, b) => vec![(*a, grad.clone()), (*b, grad.scale(-1.0))],
             Op::Mul(a, b) => {
-                let av = tape.value(*a);
-                let bv = tape.value(*b);
-                vec![(*a, grad.mul(bv)), (*b, grad.mul(av))]
+                let mut out = Vec::with_capacity(2);
+                if tape.requires_grad(*a) {
+                    out.push((*a, grad.mul(tape.value(*b))));
+                }
+                if tape.requires_grad(*b) {
+                    out.push((*b, grad.mul(tape.value(*a))));
+                }
+                out
             }
             Op::Scale(a, s) => vec![(*a, grad.scale(*s))],
             Op::AddScalar(a, _) => vec![(*a, grad.clone())],
             Op::AddRowBroadcast(a, b) => {
-                let rows = grad.dim(0) as f32;
-                let gb = grad.mean_cols().scale(rows);
-                vec![(*a, grad.clone()), (*b, gb)]
+                let mut out = Vec::with_capacity(2);
+                if tape.requires_grad(*a) {
+                    out.push((*a, grad.clone()));
+                }
+                if tape.requires_grad(*b) {
+                    let rows = grad.dim(0) as f32;
+                    out.push((*b, grad.mean_cols().scale(rows)));
+                }
+                out
             }
             Op::MulColBroadcast(a, b) => {
                 let av = tape.value(*a);
@@ -196,12 +207,23 @@ impl Op {
                 vec![(*a, ga), (*b, gb)]
             }
             Op::Matmul(a, b) => {
+                // dA = G·Bᵀ, dB = Aᵀ·G. Each side is computed only when its
+                // parent requires a gradient: with a frozen weight matrix the
+                // expensive Aᵀ·G weight-gradient GEMM is skipped entirely,
+                // and with a constant activation (e.g. the input batch) the
+                // G·Bᵀ product is. Both run on the packed microkernel —
+                // `matmul_transa` gathers A column tiles in place of an
+                // explicit transpose, bit-identical to the two-step form.
                 let av = tape.value(*a);
                 let bv = tape.value(*b);
-                // dA = G·Bᵀ, dB = Aᵀ·G
-                let ga = grad.matmul_transb(bv);
-                let gb = av.transpose2().matmul(grad);
-                vec![(*a, ga), (*b, gb)]
+                let mut out = Vec::with_capacity(2);
+                if tape.requires_grad(*a) {
+                    out.push((*a, grad.matmul_transb(bv)));
+                }
+                if tape.requires_grad(*b) {
+                    out.push((*b, av.matmul_transa(grad)));
+                }
+                out
             }
             Op::Transpose(a) => vec![(*a, grad.transpose2())],
             Op::Reshape(a, in_dims) => vec![(*a, grad.reshape(in_dims))],
@@ -254,6 +276,10 @@ impl Op {
                 let gv = tape.value(*gamma);
                 let (rows, cols) = (xv.dim(0), xv.dim(1));
                 let (means, vars) = xv.row_mean_var();
+                // Skip the affine-parameter accumulations when gamma/beta
+                // are frozen (the common case under frozen-backbone
+                // training — gradients still flow through to `x`).
+                let need_affine = tape.requires_grad(*gamma) || tape.requires_grad(*beta);
                 let mut gx = Tensor::zeros(&[rows, cols]);
                 let mut ggamma = vec![0.0f32; cols];
                 let mut gbeta = vec![0.0f32; cols];
@@ -278,15 +304,20 @@ impl Op {
                     let gxrow = gx.row_mut(r);
                     for j in 0..cols {
                         gxrow[j] = inv_std * (gg[j] - mean_gg - xhat[j] * mean_gg_xhat);
-                        ggamma[j] += grow[j] * xhat[j];
-                        gbeta[j] += grow[j];
+                    }
+                    if need_affine {
+                        for j in 0..cols {
+                            ggamma[j] += grow[j] * xhat[j];
+                            gbeta[j] += grow[j];
+                        }
                     }
                 }
-                vec![
-                    (*x, gx),
-                    (*gamma, Tensor::from_vec(ggamma, &[cols])),
-                    (*beta, Tensor::from_vec(gbeta, &[cols])),
-                ]
+                let mut out = vec![(*x, gx)];
+                if need_affine {
+                    out.push((*gamma, Tensor::from_vec(ggamma, &[cols])));
+                    out.push((*beta, Tensor::from_vec(gbeta, &[cols])));
+                }
+                out
             }
             Op::MeanColsKeep(a) => {
                 let rows = tape.value(*a).dim(0);

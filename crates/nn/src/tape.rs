@@ -61,6 +61,9 @@ pub struct Tape {
     nodes: Vec<Node>,
     /// `(param id, leaf var)` pairs recorded by [`Tape::param`].
     bindings: Vec<(u64, Var)>,
+    /// Parameter ids recorded as constants by [`Tape::param`] — the
+    /// frozen-backbone fast path.
+    frozen: std::collections::HashSet<u64>,
 }
 
 impl Tape {
@@ -126,10 +129,38 @@ impl Tape {
 
     /// Records a parameter as a differentiable leaf and remembers the
     /// binding so [`Tape::write_grads`] can route its gradient back.
+    ///
+    /// Parameters frozen via [`Tape::freeze_params`] are recorded as
+    /// constants instead: `requires_grad` stays false through everything
+    /// computed from them, so [`Tape::backward`] skips their entire weight
+    /// subgraph — the frozen-backbone fast path of selector-only training.
     pub fn param(&mut self, p: &Param) -> Var {
+        if self.frozen.contains(&p.id()) {
+            return self.constant(p.value().clone());
+        }
         let v = self.leaf(p.value().clone());
         self.bindings.push((p.id(), v));
         v
+    }
+
+    /// Marks parameter ids as frozen: subsequent [`Tape::param`] calls for
+    /// them record constants, so no gradients are computed or routed for
+    /// them. Gradients still flow *through* ops that consume frozen
+    /// parameters (activations keep their grads); only the weight-side
+    /// vector-Jacobian products are skipped. Freezing affects only
+    /// parameters recorded after the call.
+    pub fn freeze_params(&mut self, ids: impl IntoIterator<Item = u64>) {
+        self.frozen.extend(ids);
+    }
+
+    /// `true` if the parameter id is currently frozen on this tape.
+    pub fn is_frozen(&self, id: u64) -> bool {
+        self.frozen.contains(&id)
+    }
+
+    /// `true` if a gradient will be computed for this node.
+    pub fn requires_grad(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
     }
 
     /// Re-records a node's value as a constant: gradient flow stops here.
@@ -544,6 +575,62 @@ mod tests {
         tape.write_grads(&grads, vec![&mut p, &mut q]);
         assert_eq!(p.grad().unwrap().data(), &[1.0, 1.0]);
         assert!(q.grad().is_none());
+    }
+
+    #[test]
+    fn frozen_param_is_recorded_as_constant() {
+        let p = Param::new("backbone.w", Tensor::ones(&[2, 2]));
+        let mut tape = Tape::new();
+        tape.freeze_params([p.id()]);
+        assert!(tape.is_frozen(p.id()));
+        let w = tape.param(&p);
+        assert!(!tape.requires_grad(w));
+        let x = tape.leaf(Tensor::ones(&[1, 2]));
+        let y = tape.matmul(x, w);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        // No weight gradient, but the activation gradient still flows.
+        assert!(grads.get(w).is_none());
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0]);
+        let mut p = p;
+        tape.write_grads(&grads, vec![&mut p]);
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn freezing_one_param_leaves_other_grads_bitwise_identical() {
+        let w1 = Param::new(
+            "selector.w",
+            Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25], &[2, 2]),
+        );
+        let w2 = Param::new(
+            "backbone.w",
+            Tensor::from_vec(vec![1.5, 0.5, -0.5, 1.0], &[2, 2]),
+        );
+        let x = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5], &[2, 2]);
+
+        let run = |freeze: bool| {
+            let mut tape = Tape::new();
+            if freeze {
+                tape.freeze_params([w2.id()]);
+            }
+            let xv = tape.constant(x.clone());
+            let a = tape.param(&w1);
+            let b = tape.param(&w2);
+            let h = tape.matmul(xv, a);
+            let h = tape.gelu(h);
+            let y = tape.matmul(h, b);
+            let loss = tape.mean_all(y);
+            let grads = tape.backward(loss);
+            (grads.get(a).cloned(), grads.get(b).cloned())
+        };
+        let (g1_full, g2_full) = run(false);
+        let (g1_frozen, g2_frozen) = run(true);
+        assert!(g2_full.is_some());
+        assert!(g2_frozen.is_none(), "frozen weight must get no gradient");
+        // The surviving gradient is bitwise identical — freezing only skips
+        // work, it never changes arithmetic.
+        assert_eq!(g1_frozen.unwrap().data(), g1_full.unwrap().data(),);
     }
 
     #[test]

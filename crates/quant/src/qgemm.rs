@@ -5,14 +5,147 @@
 //! ~1.9× speedup from 8-bit quantization comes precisely from packing two
 //! such MACs per DSP slice; the cycle model in `heatvit-fpga` charges it
 //! that way.
+//!
+//! Like the float path in `heatvit-tensor`, the int8 kernels are cache
+//! blocked: `B` is packed into zero-padded [`QNR`]-wide column panels and a
+//! [`QMR`]`×`[`QNR`] widened-`i32` accumulator tile is driven by
+//! `chunks_exact` inner loops with no per-element branching. `A·B` and
+//! `A·Bᵀ` share the microkernel after packing. Integer accumulation is
+//! exact, so any blocking order produces bit-identical results — the int8
+//! path keeps every historical equality guarantee for free.
 
 use crate::qtensor::QTensor;
 use heatvit_tensor::Tensor;
 
-/// Output-column tile width of the int8 GEMM kernels: a stack-resident `i32`
-/// accumulator strip, mirroring the accelerator's fixed-size output BRAM
-/// tile (paper Fig. 8a) and keeping the `_into` paths allocation-free.
-const ACC_TILE: usize = 64;
+/// Rows per int8 microkernel tile (register blocking over `m`).
+pub const QMR: usize = 4;
+
+/// Columns per packed int8 panel: the width of the widened `i32`
+/// accumulator tile, mirroring the accelerator's fixed-size output BRAM
+/// tile (paper Fig. 8a).
+pub const QNR: usize = 16;
+
+/// Number of `i8` slots [`qpack_b`] needs for a `k×n` operand.
+pub fn qpacked_len(k: usize, n: usize) -> usize {
+    n.div_ceil(QNR) * k * QNR
+}
+
+/// Packs a row-major `k×n` int8 matrix into [`QNR`]-wide column panels
+/// (zero-padded), the integer twin of `heatvit_tensor::pack_b`.
+pub fn qpack_b(b: &[i8], k: usize, n: usize, pack: &mut Vec<i8>) {
+    debug_assert_eq!(b.len(), k * n);
+    pack.clear();
+    pack.resize(qpacked_len(k, n), 0);
+    if k == 0 || n == 0 {
+        return;
+    }
+    for (pi, panel) in pack.chunks_exact_mut(k * QNR).enumerate() {
+        let j0 = pi * QNR;
+        let jn = QNR.min(n - j0);
+        for (dst, src) in panel.chunks_exact_mut(QNR).zip(b[j0..].chunks(n)) {
+            dst[..jn].copy_from_slice(&src[..jn]);
+        }
+    }
+}
+
+/// Packs the transpose of a row-major `n×k` int8 matrix (`bt` stores `Bᵀ`)
+/// into the same panel layout as [`qpack_b`].
+pub fn qpack_b_t(bt: &[i8], n: usize, k: usize, pack: &mut Vec<i8>) {
+    debug_assert_eq!(bt.len(), n * k);
+    pack.clear();
+    pack.resize(qpacked_len(k, n), 0);
+    if k == 0 || n == 0 {
+        return;
+    }
+    for (pi, panel) in pack.chunks_exact_mut(k * QNR).enumerate() {
+        let j0 = pi * QNR;
+        let jn = QNR.min(n - j0);
+        for (c, src_row) in bt[j0 * k..(j0 + jn) * k].chunks_exact(k).enumerate() {
+            for (dst, &v) in panel.chunks_exact_mut(QNR).zip(src_row.iter()) {
+                dst[c] = v;
+            }
+        }
+    }
+}
+
+/// Full [`QMR`]-row int8 microkernel over one packed panel: widened `i32`
+/// accumulators stay in registers; each loaded panel row is reused [`QMR`]
+/// times.
+#[inline(always)]
+fn qmicro_full(a: [&[i8]; QMR], panel: &[i8], acc: &mut [[i32; QNR]; QMR]) {
+    let [a0, a1, a2, a3] = a;
+    let [c0, c1, c2, c3] = acc;
+    for ((((bp, &v0), &v1), &v2), &v3) in panel
+        .chunks_exact(QNR)
+        .zip(a0.iter())
+        .zip(a1.iter())
+        .zip(a2.iter())
+        .zip(a3.iter())
+    {
+        let (v0, v1, v2, v3) = (v0 as i32, v1 as i32, v2 as i32, v3 as i32);
+        for j in 0..QNR {
+            let bv = bp[j] as i32;
+            c0[j] += v0 * bv;
+            c1[j] += v1 * bv;
+            c2[j] += v2 * bv;
+            c3[j] += v3 * bv;
+        }
+    }
+}
+
+/// Remainder-row int8 microkernel for the final tile when `m % QMR != 0`.
+#[inline(always)]
+fn qmicro_tail(a_rows: &[i8], mr: usize, k: usize, panel: &[i8], acc: &mut [[i32; QNR]; QMR]) {
+    for (arow, accr) in a_rows.chunks_exact(k).take(mr).zip(acc.iter_mut()) {
+        for (&av, bp) in arow.iter().zip(panel.chunks_exact(QNR)) {
+            let av = av as i32;
+            for (c, &bv) in accr.iter_mut().zip(bp.iter()) {
+                *c += av * bv as i32;
+            }
+        }
+    }
+}
+
+/// Blocked int8 GEMM over a pre-packed `B`: dequantizes the widened `i32`
+/// accumulator tile straight into the float output (`c = (A·B)·rescale`,
+/// rows fully overwritten).
+fn qgemm_packed(a: &[i8], m: usize, k: usize, pack: &[i8], n: usize, rescale: f32, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    for (a_rows, out_rows) in a.chunks(QMR * k).zip(c.chunks_mut(QMR * n)) {
+        let mr = a_rows.len() / k;
+        let mut j0 = 0;
+        for panel in pack.chunks_exact(k * QNR) {
+            let jn = QNR.min(n - j0);
+            let mut acc = [[0i32; QNR]; QMR];
+            if mr == QMR {
+                let rows = [
+                    &a_rows[..k],
+                    &a_rows[k..2 * k],
+                    &a_rows[2 * k..3 * k],
+                    &a_rows[3 * k..4 * k],
+                ];
+                qmicro_full(rows, panel, &mut acc);
+            } else {
+                qmicro_tail(a_rows, mr, k, panel, &mut acc);
+            }
+            for (r, accr) in acc.iter().enumerate().take(mr) {
+                let orow = &mut out_rows[r * n + j0..r * n + j0 + jn];
+                for (o, &v) in orow.iter_mut().zip(accr.iter()) {
+                    *o = v as f32 * rescale;
+                }
+            }
+            j0 += QNR;
+        }
+    }
+}
 
 /// Integer matrix product `a · b` with float rescaling.
 ///
@@ -29,56 +162,40 @@ pub fn qmatmul(a: &QTensor, b: &QTensor) -> Tensor {
 }
 
 /// [`qmatmul`] writing into a caller-provided output tensor (reshaped in
-/// place, values bit-identical to the allocating path). Accumulation stays
-/// in `i32` within a fixed stack tile, so the hot path performs no heap
-/// allocation once `out` is warm.
+/// place, values bit-identical to the allocating path).
 ///
 /// # Panics
 ///
 /// Panics if the operands are not rank 2 or inner dimensions differ.
 pub fn qmatmul_into(a: &QTensor, b: &QTensor, out: &mut Tensor) {
+    qmatmul_with(a, b, &mut Vec::new(), out);
+}
+
+/// [`qmatmul_into`] staging the packed operand in a caller-owned buffer, so
+/// repeated products perform no heap allocation once the workspace is warm.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank 2 or inner dimensions differ.
+pub fn qmatmul_with(a: &QTensor, b: &QTensor, pack: &mut Vec<i8>, out: &mut Tensor) {
     assert_eq!(a.dims().len(), 2, "qmatmul lhs must be rank 2");
     assert_eq!(b.dims().len(), 2, "qmatmul rhs must be rank 2");
     let (m, k) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "qmatmul inner dimensions must agree");
     let rescale = a.params().scale * b.params().scale;
-    let ad = a.data();
-    let bd = b.data();
     out.reset_unspecified(&[m, n]);
-    let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut od[i * n..(i + 1) * n];
-        let mut j0 = 0;
-        while j0 < n {
-            let jn = ACC_TILE.min(n - j0);
-            let mut acc = [0i32; ACC_TILE];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0 {
-                    continue;
-                }
-                let av = av as i32;
-                let brow = &bd[p * n + j0..p * n + j0 + jn];
-                for (c, &bv) in acc[..jn].iter_mut().zip(brow.iter()) {
-                    *c += av * bv as i32;
-                }
-            }
-            for (o, &c) in orow[j0..j0 + jn].iter_mut().zip(acc[..jn].iter()) {
-                *o = c as f32 * rescale;
-            }
-            j0 += jn;
-        }
-    }
+    qpack_b(b.data(), k, n, pack);
+    qgemm_packed(a.data(), m, k, pack, n, rescale, out.data_mut());
 }
 
 /// Integer matrix product `a · bᵀ` with float rescaling.
 ///
 /// `a` is `[M, K]`, `b` is `[N, K]`; the result is the dequantized `[M, N]`
-/// matrix. This is the attention-score shape `Q·Kᵀ`: both operands are
-/// row-major with contiguous `K`-length rows, so each output element is one
-/// contiguous int8 dot product — exactly how the FPGA GEMM engine consumes
-/// the transposed key tile.
+/// matrix. This is the attention-score shape `Q·Kᵀ`: the transposed operand
+/// is packed straight from its row-major layout, after which the blocked
+/// microkernel is identical to the plain product — exactly how the FPGA GEMM
+/// engine consumes the transposed key tile.
 ///
 /// # Panics
 ///
@@ -96,28 +213,25 @@ pub fn qmatmul_transb(a: &QTensor, b: &QTensor) -> Tensor {
 ///
 /// Panics if the operands are not rank 2 or their row widths differ.
 pub fn qmatmul_transb_into(a: &QTensor, b: &QTensor, out: &mut Tensor) {
+    qmatmul_transb_with(a, b, &mut Vec::new(), out);
+}
+
+/// [`qmatmul_transb_into`] staging the packed operand in a caller-owned
+/// buffer (no allocation once warm).
+///
+/// # Panics
+///
+/// Panics if the operands are not rank 2 or their row widths differ.
+pub fn qmatmul_transb_with(a: &QTensor, b: &QTensor, pack: &mut Vec<i8>, out: &mut Tensor) {
     assert_eq!(a.dims().len(), 2, "qmatmul_transb lhs must be rank 2");
     assert_eq!(b.dims().len(), 2, "qmatmul_transb rhs must be rank 2");
     let (m, k) = (a.dim(0), a.dim(1));
     let (n, k2) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "qmatmul_transb inner dimensions must agree");
     let rescale = a.params().scale * b.params().scale;
-    let ad = a.data();
-    let bd = b.data();
     out.reset_unspecified(&[m, n]);
-    let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut od[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0i32;
-            for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                acc += av as i32 * bv as i32;
-            }
-            *o = acc as f32 * rescale;
-        }
-    }
+    qpack_b_t(b.data(), n, k, pack);
+    qgemm_packed(a.data(), m, k, pack, n, rescale, out.data_mut());
 }
 
 /// Quantized linear layer: int8 weight, float bias, dynamic or static
@@ -205,9 +319,35 @@ impl QLinear {
     ///
     /// Panics if `x` is not rank-2 `[N, in_features]`.
     pub fn infer_into(&self, x: &Tensor, qbuf: &mut QTensor, out: &mut Tensor) {
+        self.infer_with(x, qbuf, &mut Vec::new(), out);
+    }
+
+    /// [`QLinear::infer_into`] additionally staging the packed weight panels
+    /// in a caller-owned buffer — the fully allocation-free entry point used
+    /// by the quantized blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank-2 `[N, in_features]`.
+    pub fn infer_with(&self, x: &Tensor, qbuf: &mut QTensor, pack: &mut Vec<i8>, out: &mut Tensor) {
         self.check_input(x);
         QTensor::quantize_with_into(x, self.input_params(x), qbuf);
-        qmatmul_into(qbuf, &self.weight, out);
+        qmatmul_with(qbuf, &self.weight, pack, out);
+        self.add_bias(out);
+    }
+
+    /// Runs the integer GEMM on activations the caller has already
+    /// quantized (e.g. by the fused layer-norm + quantize path, or a single
+    /// quantization pass shared by the Q/K/V projections).
+    ///
+    /// The caller is responsible for having quantized `qx` with this
+    /// layer's activation parameters; the kernel simply trusts `qx.params()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qx` is not rank-2 `[N, in_features]`.
+    pub fn infer_quantized_into(&self, qx: &QTensor, pack: &mut Vec<i8>, out: &mut Tensor) {
+        qmatmul_with(qx, &self.weight, pack, out);
         self.add_bias(out);
     }
 
@@ -253,6 +393,58 @@ mod tests {
     }
 
     #[test]
+    fn qmatmul_matches_integer_reference_on_edge_geometry() {
+        // Remainder tiles (m/k/n off the QMR/QNR grid), single rows/columns
+        // and empty shapes must all agree exactly with a naive i32 triple
+        // loop — integer accumulation leaves no tolerance to hide behind.
+        let mut rng = StdRng::seed_from_u64(20);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 5, QNR + 1),
+            (QMR + 1, QNR - 1, 1),
+            (2 * QMR + 3, 33, 2 * QNR + 5),
+            (0, 4, 4),
+            (4, 0, 4),
+            (4, 4, 0),
+        ] {
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            let (qa, qb) = (QTensor::quantize(&a), QTensor::quantize(&b));
+            let out = qmatmul(&qa, &qb);
+            let rescale = qa.params().scale * qb.params().scale;
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0i32;
+                    for p in 0..k {
+                        acc += qa.data()[i * k + p] as i32 * qb.data()[p * n + j] as i32;
+                    }
+                    let expect = acc as f32 * rescale;
+                    assert_eq!(
+                        out.at(&[i, j]),
+                        expect,
+                        "mismatch at ({i},{j}) of {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qmatmul_repeated_runs_are_bitwise_deterministic() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Tensor::rand_normal(&[19, 37], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[37, 23], 0.0, 1.0, &mut rng);
+        let (qa, qb) = (QTensor::quantize(&a), QTensor::quantize(&b));
+        let first = qmatmul(&qa, &qb);
+        let mut pack = Vec::new();
+        for _ in 0..5 {
+            let mut out = Tensor::default();
+            qmatmul_with(&qa, &qb, &mut pack, &mut out);
+            assert_eq!(out.data(), first.data());
+        }
+    }
+
+    #[test]
     fn qlinear_matches_float_layer_closely() {
         let mut rng = StdRng::seed_from_u64(1);
         let layer = Linear::new(24, 12, true, &mut rng);
@@ -294,7 +486,7 @@ mod tests {
     #[test]
     fn qmatmul_transb_matches_explicit_transpose() {
         let mut rng = StdRng::seed_from_u64(3);
-        // Width > ACC_TILE to exercise the tiled path on the plain kernel.
+        // Width past several packed panels to exercise the tiled path.
         let a = Tensor::rand_normal(&[5, 80], 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal(&[7, 80], 0.0, 1.0, &mut rng);
         let qa = QTensor::quantize(&a);
@@ -332,6 +524,14 @@ mod tests {
         let mut out = Tensor::default();
         qlayer.infer_into(&x, &mut qbuf, &mut out);
         assert!(out.allclose(&qlayer.infer(&x), 0.0));
+        // The fully scratch-threaded path and the pre-quantized entry point
+        // agree bitwise as well.
+        let mut pack = Vec::new();
+        let mut out2 = Tensor::default();
+        qlayer.infer_with(&x, &mut qbuf, &mut pack, &mut out2);
+        assert!(out2.allclose(&out, 0.0));
+        qlayer.infer_quantized_into(&qbuf, &mut pack, &mut out2);
+        assert!(out2.allclose(&out, 0.0));
     }
 
     #[test]

@@ -107,6 +107,23 @@ impl QTensor {
         out.params = params;
     }
 
+    /// Begins an incremental refill: installs `dims` and `params`, clears
+    /// the integer storage (keeping its allocation), and hands the caller
+    /// the backing buffer to push quantized values into — the entry point of
+    /// the fused layer-norm + quantize path, which appends one normalized
+    /// tile at a time instead of quantizing a materialized float tensor.
+    ///
+    /// The caller must push exactly `dims.iter().product()` values (each
+    /// computed with `params.quantize`) before using the tensor; the kernels
+    /// debug-assert the length.
+    pub fn start_fill(&mut self, dims: &[usize], params: QuantParams) -> &mut Vec<i8> {
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+        self.params = params;
+        self.data.clear();
+        &mut self.data
+    }
+
     /// The integer data (row-major).
     pub fn data(&self) -> &[i8] {
         &self.data
@@ -217,6 +234,22 @@ mod tests {
         QTensor::quantize_with_into(&small, params, &mut buf);
         assert_eq!(buf.dims(), &[2, 3]);
         assert_eq!(buf.data.capacity(), cap);
+    }
+
+    #[test]
+    fn start_fill_tiled_quantize_matches_whole_tensor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_normal(&[9, 5], 0.0, 1.0, &mut rng);
+        let params = QuantParams::observe(&t);
+        let whole = QTensor::quantize_with(&t, params);
+        let mut buf = QTensor::default();
+        let fill = buf.start_fill(t.dims(), params);
+        for chunk in t.data().chunks(2 * 5) {
+            fill.extend(chunk.iter().map(|&v| params.quantize(v)));
+        }
+        assert_eq!(buf.data(), whole.data());
+        assert_eq!(buf.dims(), whole.dims());
+        assert_eq!(buf.params(), whole.params());
     }
 
     #[test]

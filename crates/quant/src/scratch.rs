@@ -59,6 +59,10 @@ pub struct QuantScratch {
     pub(crate) pruned: Vec<usize>,
     /// Mean class-token attention per patch token from the previous block.
     pub(crate) cls_attn: Vec<f32>,
+    /// Packed int8 weight panels for the integer GEMM microkernel.
+    pub(crate) pack: Vec<i8>,
+    /// Staging buffer for fused layer-norm + quantize tiles.
+    pub(crate) ln_tile: Vec<f32>,
 }
 
 // Each engine worker thread owns one scratch (inside its `PruneScratch`); a

@@ -16,8 +16,24 @@ pub use std::hint::black_box;
 /// Number of timed samples collected per benchmark.
 pub const SAMPLES: usize = 15;
 
+/// Timed samples in quick mode (see [`quick`]).
+const QUICK_SAMPLES: usize = 5;
+
 /// Target wall-clock time for the whole sampling phase of one benchmark.
 const TARGET_SAMPLING: Duration = Duration::from_millis(600);
+
+/// Sampling-phase target in quick mode (see [`quick`]).
+const QUICK_SAMPLING: Duration = Duration::from_millis(60);
+
+/// Whether quick mode is active: `--quick` among the process arguments
+/// (reachable as `cargo bench ... -- --quick` because every workspace bench
+/// sets `harness = false`) or the `HEATVIT_BENCH_QUICK` environment
+/// variable. Quick mode shrinks warm-up and sampling so CI can smoke-run a
+/// bench in well under a second per entry; the numbers it prints are
+/// smoke-test quality, not publishable medians.
+fn quick() -> bool {
+    std::env::var_os("HEATVIT_BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--quick")
+}
 
 /// The benchmark driver handed to `criterion_group!` functions.
 #[derive(Debug, Default)]
@@ -51,19 +67,26 @@ impl Bencher {
     /// Measures `f`: warm-up to estimate cost, then [`SAMPLES`] timed batches;
     /// records the median per-iteration duration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up and cost estimation: run until ~50ms elapsed.
+        let (sample_count, sampling_target, warmup) = if quick() {
+            (QUICK_SAMPLES, QUICK_SAMPLING, Duration::from_millis(5))
+        } else {
+            (SAMPLES, TARGET_SAMPLING, Duration::from_millis(50))
+        };
+
+        // Warm-up and cost estimation: run until the warm-up window elapses.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < Duration::from_millis(50) {
+        while warm_start.elapsed() < warmup {
             black_box(f());
             warm_iters += 1;
         }
         let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
         let iters_per_sample =
-            ((TARGET_SAMPLING.as_secs_f64() / SAMPLES as f64 / est_per_iter).ceil() as u64).max(1);
+            ((sampling_target.as_secs_f64() / sample_count as f64 / est_per_iter).ceil() as u64)
+                .max(1);
 
-        let mut samples: Vec<Duration> = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
+        let mut samples: Vec<Duration> = Vec::with_capacity(sample_count);
+        for _ in 0..sample_count {
             let start = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(f());

@@ -42,7 +42,10 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use matmul::gemm;
+pub use matmul::{
+    gemm, gemm_packed, gemm_packed_rows, pack_b, pack_b_into, pack_b_t, packed_len, GemmScratch,
+    MR, NR,
+};
 pub use random::sample_standard_normal;
 pub use shape::Shape;
 pub use tensor::Tensor;

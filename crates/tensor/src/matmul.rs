@@ -6,12 +6,240 @@
 //! decision to express the selector with linear layers so it can reuse the
 //! GEMM hardware.
 //!
-//! The 2-D kernel uses an `i-k-j` loop order over the row-major operands so
-//! the innermost loop streams both `B` and `C` contiguously, which
-//! auto-vectorizes well. A `matmul_transb` variant computes `A · Bᵀ` without
-//! materializing the transpose — the hot path for attention scores `Q·Kᵀ`.
+//! The production path is a cache-blocked packed kernel (the software mirror
+//! of the paper's Fig. 8 tiling): `B` is packed into zero-padded column
+//! panels of width [`NR`], and an [`MR`]`×`[`NR`] register-resident
+//! accumulator tile is driven by `chunks_exact` inner loops that
+//! auto-vectorize without any per-element branching. Both `A·B` and `A·Bᵀ`
+//! reduce to the same microkernel after packing, so the attention-score shape
+//! `Q·Kᵀ` gets the vectorized path too (its previous per-element dot products
+//! compiled to scalar reductions — floats cannot be reassociated).
+//!
+//! Per output element the accumulation order is ascending `k`, identical to
+//! the naive triple loop, so the packed kernel is bit-compatible with the
+//! [`gemm`] reference and run-to-run deterministic.
 
 use crate::Tensor;
+
+/// Rows per microkernel tile: how many output rows share one loaded `B`
+/// panel value (register blocking over `m`).
+pub const MR: usize = 4;
+
+/// Columns per packed panel: the SIMD-friendly width of the accumulator
+/// tile. Panels are zero-padded to this width so the inner loop never
+/// branches on a column remainder.
+pub const NR: usize = 16;
+
+/// Reusable packing/staging workspace for the blocked GEMM entry points.
+///
+/// Contents are unspecified between calls — the buffers exist purely so the
+/// hot path performs no per-call heap allocation once warm. One scratch can
+/// serve any sequence of differently-shaped products; the buffers grow to the
+/// high-water mark and stay there.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    /// Packed `B` panels (see [`pack_b`]).
+    pub pack: Vec<f32>,
+    /// Row-tile staging area (transposed `A` gathers, fused layer-norm
+    /// tiles, …).
+    pub tile: Vec<f32>,
+}
+
+/// Number of `f32` slots [`pack_b`] needs for a `k×n` operand.
+pub fn packed_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
+/// Packs a row-major `k×n` matrix into column panels of width [`NR`].
+///
+/// Panel `i` holds columns `i*NR .. i*NR+NR` as `k` contiguous rows of `NR`
+/// values; columns beyond `n` are zero-filled so the microkernel can always
+/// run a full-width inner loop. `pack` is cleared and resized to
+/// [`packed_len`]`(k, n)`.
+pub fn pack_b(b: &[f32], k: usize, n: usize, pack: &mut Vec<f32>) {
+    pack.clear();
+    pack.resize(packed_len(k, n), 0.0);
+    pack_b_into(b, k, n, pack);
+}
+
+/// [`pack_b`] writing into a caller-sliced region of exactly
+/// [`packed_len`]`(k, n)` floats (which may be stale — padding is
+/// re-zeroed). Lets several operands share one scratch buffer, e.g. the
+/// fused layer-norm path packing the Q/K/V weights side by side.
+///
+/// # Panics
+///
+/// Panics if `dst` is not exactly [`packed_len`]`(k, n)` long.
+pub fn pack_b_into(b: &[f32], k: usize, n: usize, dst: &mut [f32]) {
+    debug_assert_eq!(b.len(), k * n);
+    assert_eq!(dst.len(), packed_len(k, n), "pack region size mismatch");
+    if k == 0 || n == 0 {
+        return;
+    }
+    for (pi, panel) in dst.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = pi * NR;
+        let jn = NR.min(n - j0);
+        for (dst, src) in panel.chunks_exact_mut(NR).zip(b[j0..].chunks(n)) {
+            dst[..jn].copy_from_slice(&src[..jn]);
+            dst[jn..].fill(0.0);
+        }
+    }
+}
+
+/// Packs the transpose of a row-major `n×k` matrix (`bt` stores `Bᵀ`) into
+/// the same panel layout [`pack_b`] produces for `B` itself.
+///
+/// This is what turns `A·Bᵀ` into a plain packed product: after packing, the
+/// microkernel cannot tell the two entry shapes apart.
+pub fn pack_b_t(bt: &[f32], n: usize, k: usize, pack: &mut Vec<f32>) {
+    debug_assert_eq!(bt.len(), n * k);
+    pack.clear();
+    pack.resize(packed_len(k, n), 0.0);
+    if k == 0 || n == 0 {
+        return;
+    }
+    for (pi, panel) in pack.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = pi * NR;
+        let jn = NR.min(n - j0);
+        for (c, src_row) in bt[j0 * k..(j0 + jn) * k].chunks_exact(k).enumerate() {
+            for (dst, &v) in panel.chunks_exact_mut(NR).zip(src_row.iter()) {
+                dst[c] = v;
+            }
+        }
+    }
+}
+
+/// Full [`MR`]-row microkernel: accumulates one `MR×NR` tile over the whole
+/// `k` extent of one packed panel. All accumulators stay in registers; each
+/// loaded panel row is reused [`MR`] times.
+#[inline(always)]
+fn micro_full(a: [&[f32]; MR], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let [a0, a1, a2, a3] = a;
+    let [c0, c1, c2, c3] = acc;
+    for ((((bp, &v0), &v1), &v2), &v3) in panel
+        .chunks_exact(NR)
+        .zip(a0.iter())
+        .zip(a1.iter())
+        .zip(a2.iter())
+        .zip(a3.iter())
+    {
+        for j in 0..NR {
+            c0[j] += v0 * bp[j];
+            c1[j] += v1 * bp[j];
+            c2[j] += v2 * bp[j];
+            c3[j] += v3 * bp[j];
+        }
+    }
+}
+
+/// Remainder-row microkernel for the final tile when `m % MR != 0`.
+#[inline(always)]
+fn micro_tail(a_rows: &[f32], mr: usize, k: usize, panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (arow, accr) in a_rows.chunks_exact(k).take(mr).zip(acc.iter_mut()) {
+        for (&av, bp) in arow.iter().zip(panel.chunks_exact(NR)) {
+            for (c, &bv) in accr.iter_mut().zip(bp.iter()) {
+                *c += av * bv;
+            }
+        }
+    }
+}
+
+/// Runs the packed microkernel over one block of `mr ≤ MR` contiguous `A`
+/// rows, writing `mr` finished rows of `C = A·B (+ bias)`.
+///
+/// `a_rows` is `mr` contiguous rows of length `k`; `pack` is the output of
+/// [`pack_b`]/[`pack_b_t`]; `out_rows` is the matching `mr×n` output slab.
+/// This is the fusion point: callers that produce `A` tiles on the fly (the
+/// fused layer-norm + projection path) call this directly with a staged tile.
+pub fn gemm_packed_rows(
+    a_rows: &[f32],
+    mr: usize,
+    k: usize,
+    pack: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    out_rows: &mut [f32],
+) {
+    debug_assert!(mr <= MR);
+    debug_assert!(a_rows.len() >= mr * k);
+    debug_assert!(out_rows.len() >= mr * n);
+    if n == 0 {
+        return;
+    }
+    if k == 0 {
+        for r in 0..mr {
+            let orow = &mut out_rows[r * n..(r + 1) * n];
+            match bias {
+                Some(bs) => orow.copy_from_slice(&bs[..n]),
+                None => orow.fill(0.0),
+            }
+        }
+        return;
+    }
+    let mut j0 = 0;
+    for panel in pack.chunks_exact(k * NR) {
+        let jn = NR.min(n - j0);
+        let mut acc = [[0.0f32; NR]; MR];
+        if mr == MR {
+            let rows = [
+                &a_rows[..k],
+                &a_rows[k..2 * k],
+                &a_rows[2 * k..3 * k],
+                &a_rows[3 * k..4 * k],
+            ];
+            micro_full(rows, panel, &mut acc);
+        } else {
+            micro_tail(a_rows, mr, k, panel, &mut acc);
+        }
+        for (r, accr) in acc.iter().enumerate().take(mr) {
+            let orow = &mut out_rows[r * n + j0..r * n + j0 + jn];
+            match bias {
+                Some(bs) => {
+                    for ((o, &c), &bv) in orow.iter_mut().zip(accr.iter()).zip(bs[j0..].iter()) {
+                        *o = c + bv;
+                    }
+                }
+                None => orow.copy_from_slice(&accr[..jn]),
+            }
+        }
+        j0 += NR;
+    }
+}
+
+/// Blocked GEMM over a pre-packed `B`: `c = a · B (+ bias)`, overwriting `c`.
+///
+/// `a` is row-major `m×k`, `pack` comes from [`pack_b`]/[`pack_b_t`], `c` is
+/// row-major `m×n`. Bit-compatible with the [`gemm`] reference (per-element
+/// accumulation order is ascending `k` in both).
+pub fn gemm_packed(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    pack: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for r in 0..m {
+            let orow = &mut c[r * n..(r + 1) * n];
+            match bias {
+                Some(bs) => orow.copy_from_slice(&bs[..n]),
+                None => orow.fill(0.0),
+            }
+        }
+        return;
+    }
+    for (a_rows, out_rows) in a.chunks(MR * k).zip(c.chunks_mut(MR * n)) {
+        let mr = a_rows.len() / k;
+        gemm_packed_rows(a_rows, mr, k, pack, n, bias, out_rows);
+    }
+}
 
 impl Tensor {
     /// Matrix product `self · rhs` for rank-2 tensors.
@@ -38,8 +266,8 @@ impl Tensor {
 
     /// Matrix product `self · rhsᵀ` for rank-2 tensors.
     ///
-    /// Equivalent to `self.matmul(&rhs.transpose2())` but avoids the copy;
-    /// used for attention scores `Q · Kᵀ`.
+    /// Equivalent to `self.matmul(&rhs.transpose2())` but packs straight from
+    /// the transposed layout; used for attention scores `Q · Kᵀ`.
     ///
     /// # Panics
     ///
@@ -59,13 +287,26 @@ impl Tensor {
     ///
     /// Panics under the same conditions as [`Tensor::matmul`].
     pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.matmul_with(rhs, &mut GemmScratch::default(), out);
+    }
+
+    /// [`Tensor::matmul_into`] staging the packed operand in a caller-owned
+    /// [`GemmScratch`], so repeated products perform no heap allocation once
+    /// the workspace is warm. Values are bit-identical to every other
+    /// `matmul` entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::matmul`].
+    pub fn matmul_with(&self, rhs: &Tensor, gs: &mut GemmScratch, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
         assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2");
         let (m, k) = (self.dim(0), self.dim(1));
         let (k2, n) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "matmul inner dimensions must agree ({k} vs {k2})");
-        out.reset_zeroed(&[m, n]);
-        gemm(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        out.reset_unspecified(&[m, n]);
+        pack_b(rhs.data(), k, n, &mut gs.pack);
+        gemm_packed(self.data(), m, k, &gs.pack, n, None, out.data_mut());
     }
 
     /// [`Tensor::matmul_transb`] writing into a caller-provided output
@@ -75,6 +316,16 @@ impl Tensor {
     ///
     /// Panics under the same conditions as [`Tensor::matmul_transb`].
     pub fn matmul_transb_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.matmul_transb_with(rhs, &mut GemmScratch::default(), out);
+    }
+
+    /// [`Tensor::matmul_transb_into`] staging the packed operand in a
+    /// caller-owned [`GemmScratch`] (no allocation once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::matmul_transb`].
+    pub fn matmul_transb_with(&self, rhs: &Tensor, gs: &mut GemmScratch, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul_transb lhs must be rank 2");
         assert_eq!(rhs.rank(), 2, "matmul_transb rhs must be rank 2");
         let (m, k) = (self.dim(0), self.dim(1));
@@ -83,22 +334,65 @@ impl Tensor {
             k, k2,
             "matmul_transb inner dimensions must agree ({k} vs {k2})"
         );
-        // Every element is written below, so no zeroing pass is needed.
         out.reset_unspecified(&[m, n]);
+        pack_b_t(rhs.data(), n, k, &mut gs.pack);
+        gemm_packed(self.data(), m, k, &gs.pack, n, None, out.data_mut());
+    }
+
+    /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// `self` is `[M, K]`, `rhs` is `[M, N]`; the result is `[K, N]`. This is
+    /// the weight-gradient shape of the autograd tape (`Aᵀ·G`): only an
+    /// [`MR`]-row tile of the transpose is ever staged, not the full matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the leading dimensions
+    /// differ.
+    pub fn matmul_transa(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_transa_with(rhs, &mut GemmScratch::default(), &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_transa`] staging both the packed operand and the
+    /// transposed row tiles in a caller-owned [`GemmScratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::matmul_transa`].
+    pub fn matmul_transa_with(&self, rhs: &Tensor, gs: &mut GemmScratch, out: &mut Tensor) {
+        assert_eq!(self.rank(), 2, "matmul_transa lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul_transa rhs must be rank 2");
+        let (m, ka) = (self.dim(0), self.dim(1));
+        let (m2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(
+            m, m2,
+            "matmul_transa leading dimensions must agree ({m} vs {m2})"
+        );
+        out.reset_unspecified(&[ka, n]);
+        pack_b(rhs.data(), m, n, &mut gs.pack);
+        gs.tile.clear();
+        gs.tile.resize(MR * m, 0.0);
         let a = self.data();
-        let b = rhs.data();
-        let o = out.data_mut();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for (j, ov) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in arow.iter().zip(brow.iter()) {
-                    acc += x * y;
+        let od = out.data_mut();
+        for i0 in (0..ka).step_by(MR) {
+            let mr = MR.min(ka - i0);
+            // Gather columns i0..i0+mr of `self` into mr contiguous rows.
+            for (p, src_row) in a.chunks_exact(ka).enumerate() {
+                for (r, &v) in src_row[i0..i0 + mr].iter().enumerate() {
+                    gs.tile[r * m + p] = v;
                 }
-                *ov = acc;
             }
+            gemm_packed_rows(
+                &gs.tile,
+                mr,
+                m,
+                &gs.pack,
+                n,
+                None,
+                &mut od[i0 * n..(i0 + mr) * n],
+            );
         }
     }
 
@@ -109,20 +403,45 @@ impl Tensor {
     ///
     /// Panics under the same conditions as [`Tensor::matmul_bias`].
     pub fn matmul_bias_into(&self, rhs: &Tensor, bias: &Tensor, out: &mut Tensor) {
+        self.matmul_bias_with(rhs, bias, &mut GemmScratch::default(), out);
+    }
+
+    /// [`Tensor::matmul_bias_into`] staging the packed operand in a
+    /// caller-owned [`GemmScratch`]. The bias add is fused into the tile
+    /// write-back rather than running as a second pass over the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::matmul_bias`].
+    pub fn matmul_bias_with(
+        &self,
+        rhs: &Tensor,
+        bias: &Tensor,
+        gs: &mut GemmScratch,
+        out: &mut Tensor,
+    ) {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2");
         assert_eq!(bias.rank(), 1, "bias must be rank 1");
         assert_eq!(
             bias.dim(0),
             rhs.dim(1),
             "bias length must equal output columns"
         );
-        self.matmul_into(rhs, out);
-        let n = out.dim(1);
-        let b = bias.data();
-        for row in out.data_mut().chunks_mut(n) {
-            for (o, &bv) in row.iter_mut().zip(b.iter()) {
-                *o += bv;
-            }
-        }
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul inner dimensions must agree ({k} vs {k2})");
+        out.reset_unspecified(&[m, n]);
+        pack_b(rhs.data(), k, n, &mut gs.pack);
+        gemm_packed(
+            self.data(),
+            m,
+            k,
+            &gs.pack,
+            n,
+            Some(bias.data()),
+            out.data_mut(),
+        );
     }
 
     /// Fused `self · rhs + bias` where `bias` is broadcast over rows.
@@ -144,24 +463,53 @@ impl Tensor {
     /// Panics if the operands are not rank 3, batch sizes differ, or inner
     /// dimensions do not match.
     pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.bmm_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::bmm`] writing into a caller-provided output tensor (see
+    /// [`Tensor::matmul_into`] for the reuse contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::bmm`].
+    pub fn bmm_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.bmm_with(rhs, &mut GemmScratch::default(), out);
+    }
+
+    /// [`Tensor::bmm_into`] staging the packed operands in a caller-owned
+    /// [`GemmScratch`] (one pack buffer reused across the batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::bmm`].
+    pub fn bmm_with(&self, rhs: &Tensor, gs: &mut GemmScratch, out: &mut Tensor) {
         assert_eq!(self.rank(), 3, "bmm lhs must be rank 3");
         assert_eq!(rhs.rank(), 3, "bmm rhs must be rank 3");
         let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
         let (b2, k2, n) = (rhs.dim(0), rhs.dim(1), rhs.dim(2));
         assert_eq!(b, b2, "bmm batch sizes must agree");
         assert_eq!(k, k2, "bmm inner dimensions must agree");
-        let mut out = vec![0.0f32; b * m * n];
+        out.reset_unspecified(&[b, m, n]);
+        let od = out.data_mut();
         for bi in 0..b {
-            gemm(
-                &self.data()[bi * m * k..(bi + 1) * m * k],
+            pack_b(
                 &rhs.data()[bi * k * n..(bi + 1) * k * n],
-                &mut out[bi * m * n..(bi + 1) * m * n],
-                m,
                 k,
                 n,
+                &mut gs.pack,
+            );
+            gemm_packed(
+                &self.data()[bi * m * k..(bi + 1) * m * k],
+                m,
+                k,
+                &gs.pack,
+                n,
+                None,
+                &mut od[bi * m * n..(bi + 1) * m * n],
             );
         }
-        Tensor::from_vec(out, &[b, m, n])
     }
 
     /// Transposes a rank-2 tensor.
@@ -170,23 +518,37 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2.
     pub fn transpose2(&self) -> Tensor {
+        let mut out = Tensor::default();
+        self.transpose2_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::transpose2`] writing into a caller-provided output tensor
+    /// (reshaped in place, reusing its allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2_into(&self, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "transpose2 requires a rank-2 tensor");
         let (m, n) = (self.dim(0), self.dim(1));
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data()[i * n + j];
+        out.reset_unspecified(&[n, m]);
+        let src = self.data();
+        let dst = out.data_mut();
+        for (i, row) in src.chunks_exact(n.max(1)).enumerate().take(m) {
+            for (j, &v) in row.iter().enumerate() {
+                dst[j * m + i] = v;
             }
         }
-        Tensor::from_vec(out, &[n, m])
     }
 }
 
-/// Raw GEMM: `c += a · b` with `a: m×k`, `b: k×n`, `c: m×n`, all row-major.
+/// Reference GEMM: `c += a · b` with `a: m×k`, `b: k×n`, `c: m×n`, row-major.
 ///
-/// `c` must be zero-initialized by the caller if a pure product is wanted.
-/// Exposed so the quantizer's integer GEMM tests can reuse the reference
-/// float path.
+/// This is the naive triple loop the blocked kernel is validated against
+/// (same ascending-`k` per-element accumulation order); the quantizer's
+/// integer GEMM tests also reuse it as the float reference. It is *not* the
+/// production path.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -195,9 +557,6 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
         for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let brow = &b[p * n..(p + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
                 *cv += av * bv;
@@ -209,13 +568,15 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dim(0), a.dim(1));
         let n = b.dim(1);
-        Tensor::from_fn(&[m, n], |ix| {
-            (0..k).map(|p| a.at(&[ix[0], p]) * b.at(&[p, ix[1]])).sum()
-        })
+        let mut c = Tensor::zeros(&[m, n]);
+        gemm(a.data(), b.data(), c.data_mut(), m, k, n);
+        c
     }
 
     #[test]
@@ -239,6 +600,17 @@ mod tests {
         let fast = a.matmul_transb(&b);
         let slow = a.matmul(&b.transpose2());
         assert!(fast.allclose(&slow, 1e-5));
+    }
+
+    #[test]
+    fn matmul_transa_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::rand_normal(&[9, 13], 0.0, 1.0, &mut rng);
+        let g = Tensor::rand_normal(&[9, 5], 0.0, 1.0, &mut rng);
+        let fast = a.matmul_transa(&g);
+        let slow = a.transpose2().matmul(&g);
+        assert_eq!(fast.dims(), &[13, 5]);
+        assert_eq!(fast.data(), slow.data(), "must be bitwise identical");
     }
 
     #[test]
@@ -298,13 +670,160 @@ mod tests {
 
         a.matmul_bias_into(&b, &bias, &mut out);
         assert_eq!(out.data(), a.matmul_bias(&b, &bias).data());
+
+        a.transpose2_into(&mut out);
+        assert_eq!(out.data(), a.transpose2().data());
     }
 
     #[test]
-    fn zero_rows_ok() {
-        let a = Tensor::zeros(&[0, 3]);
-        let b = Tensor::zeros(&[3, 2]);
-        let c = a.matmul(&b);
-        assert_eq!(c.dims(), &[0, 2]);
+    fn with_variants_reuse_scratch_and_match() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_normal(&[13, 21], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[21, 17], 0.0, 1.0, &mut rng);
+        let bt = b.transpose2();
+        let bias = Tensor::rand_normal(&[17], 0.0, 1.0, &mut rng);
+        let mut gs = GemmScratch::default();
+        let mut out = Tensor::default();
+
+        a.matmul_with(&b, &mut gs, &mut out);
+        assert_eq!(out.data(), a.matmul(&b).data());
+        let cap = gs.pack.capacity();
+
+        a.matmul_transb_with(&bt, &mut gs, &mut out);
+        assert_eq!(out.data(), a.matmul_transb(&bt).data());
+
+        a.matmul_bias_with(&b, &bias, &mut gs, &mut out);
+        assert_eq!(out.data(), a.matmul_bias(&b, &bias).data());
+        assert_eq!(
+            gs.pack.capacity(),
+            cap,
+            "scratch must be reused, not regrown"
+        );
+    }
+
+    #[test]
+    fn bmm_into_matches_bmm() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Tensor::rand_normal(&[3, 5, 9], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[3, 9, 6], 0.0, 1.0, &mut rng);
+        let mut out = Tensor::full(&[2, 2], f32::NAN);
+        a.bmm_into(&b, &mut out);
+        assert_eq!(out.dims(), &[3, 5, 6]);
+        assert_eq!(out.data(), a.bmm(&b).data());
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_compatible_with_naive_reference() {
+        // The packed microkernel keeps ascending-k accumulation order per
+        // output element, so it must agree with the naive triple loop to the
+        // last bit — this is what keeps the engine's bitwise parity suites
+        // and the tape's determinism guarantees unchanged across the kernel
+        // swap.
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, k, n) in &[(1, 1, 1), (4, 8, 8), (5, 7, 11), (197, 192, 576)] {
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            assert_eq!(
+                a.matmul(&b).data(),
+                naive(&a, &b).data(),
+                "bit mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn remainder_tiles_match_reference() {
+        // Sweep shapes around the MR/NR block boundaries so every remainder
+        // combination (full tiles, row tails, column tails, both) runs.
+        let mut rng = StdRng::seed_from_u64(9);
+        for m in [1, MR - 1, MR, MR + 1, 2 * MR + 3] {
+            for k in [1, 2, NR, NR + 5] {
+                for n in [1, NR - 1, NR, NR + 1, 3 * NR + 2] {
+                    let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+                    let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+                    let expect = naive(&a, &b);
+                    assert_eq!(
+                        a.matmul(&b).data(),
+                        expect.data(),
+                        "matmul mismatch at {m}x{k}x{n}"
+                    );
+                    let bt = b.transpose2();
+                    assert!(
+                        a.matmul_transb(&bt).allclose(&expect, 1e-5),
+                        "transb mismatch at {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_well_defined() {
+        // 1×N, M×1 and empty operands must all round-trip the kernel.
+        let a = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![4.0, 5.0], &[2, 1]);
+        assert_eq!(a.matmul(&b).data(), &[23.0]);
+        assert_eq!(b.matmul(&a).dims(), &[2, 2]);
+
+        let e = Tensor::zeros(&[0, 3]);
+        let w = Tensor::zeros(&[3, 2]);
+        assert_eq!(e.matmul(&w).dims(), &[0, 2]);
+
+        // k = 0: the sum over an empty inner dimension is exactly zero, and
+        // the fused bias must still land.
+        let a0 = Tensor::zeros(&[2, 0]);
+        let b0 = Tensor::zeros(&[0, 3]);
+        assert_eq!(a0.matmul(&b0).data(), &[0.0; 6]);
+        let bias = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let out = a0.matmul_bias(&b0, &bias);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+
+        let n0 = Tensor::zeros(&[0, 2]);
+        assert_eq!(Tensor::zeros(&[4, 2]).matmul_transb(&n0).dims(), &[4, 0]);
+    }
+
+    #[test]
+    fn repeated_runs_are_bitwise_deterministic() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Tensor::rand_normal(&[33, 50], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[50, 29], 0.0, 1.0, &mut rng);
+        let first = a.matmul(&b);
+        let mut gs = GemmScratch::default();
+        for _ in 0..5 {
+            let mut out = Tensor::default();
+            a.matmul_with(&b, &mut gs, &mut out);
+            assert_eq!(out.data(), first.data());
+        }
+    }
+
+    #[test]
+    fn blocked_vs_naive_tolerance_sweep_random_shapes() {
+        // Randomized geometry sweep: beyond bit-compatibility on the fixed
+        // shapes above, any shape must stay within float tolerance of the
+        // reference (guards a future kernel that re-blocks over k).
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..25 {
+            let m = rng.gen_range(1..40);
+            let k = rng.gen_range(1..64);
+            let n = rng.gen_range(1..40);
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            assert!(
+                a.matmul(&b).allclose(&naive(&a, &b), 1e-4),
+                "tolerance exceeded at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_b_t_matches_pack_of_transpose() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let b = Tensor::rand_normal(&[14, 9], 0.0, 1.0, &mut rng);
+        let bt = b.transpose2();
+        let (mut p1, mut p2) = (Vec::new(), Vec::new());
+        pack_b(b.data(), 14, 9, &mut p1);
+        pack_b_t(bt.data(), 9, 14, &mut p2);
+        assert_eq!(p1, p2);
     }
 }

@@ -141,6 +141,17 @@ impl Trainer {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ RNG_DOMAIN);
         let mut teacher_scratch = InferScratch::default();
 
+        // Selector-only training records the backbone weights as tape
+        // constants: no weight-side vector-Jacobian products are computed
+        // for them (gradients still flow *through* the blocks to the
+        // selectors). Selector gradients are bitwise identical either way —
+        // freezing skips work, it never changes arithmetic.
+        let frozen_ids: Vec<u64> = if self.config.train_backbone {
+            Vec::new()
+        } else {
+            model.backbone().params().iter().map(|p| p.id()).collect()
+        };
+
         let alpha = self.config.distill_alpha;
         let beta = self.config.sparsity_weight;
         let mut reports = Vec::with_capacity(self.config.epochs);
@@ -160,6 +171,7 @@ impl Trainer {
                         &sample.image
                     };
                     let mut tape = Tape::new();
+                    tape.freeze_params(frozen_ids.iter().copied());
                     let out = model.forward_train(&mut tape, image, &mut rng);
 
                     let ce = tape.cross_entropy(out.logits, &[sample.label]);

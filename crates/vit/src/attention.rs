@@ -1,7 +1,8 @@
 //! Multi-head self-attention (MSA).
 
 use crate::scratch::AttnScratch;
-use heatvit_nn::{layers::Linear, Module, Param, Tape, Var};
+use heatvit_nn::layers::{layer_norm_project_into, LayerNorm, Linear};
+use heatvit_nn::{Module, Param, Tape, Var};
 use heatvit_tensor::Tensor;
 use rand::Rng;
 
@@ -189,13 +190,46 @@ impl MultiHeadAttention {
         key_mask: Option<&[f32]>,
         scratch: &mut AttnScratch,
     ) -> (Tensor, AttentionMaps) {
-        let n = x.dim(0);
+        self.wq.infer_with(x, &mut scratch.gs, &mut scratch.q);
+        self.wk.infer_with(x, &mut scratch.gs, &mut scratch.k);
+        self.wv.infer_with(x, &mut scratch.gs, &mut scratch.v);
+        self.attend_with(key_mask, scratch)
+    }
+
+    /// Computes `self.infer(ln.infer(x), key_mask)` with the layer norm
+    /// fused into the Q/K/V projections via
+    /// [`layer_norm_project_into`]: normalized row tiles stream straight
+    /// into the packed GEMM microkernel, so the normalized `[N, dim]`
+    /// activations never materialize. Bit-identical to the unfused path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, ln.dim()]`, `ln.dim()` differs from the
+    /// attention width, or the mask length is not `N`.
+    pub fn infer_ln_with(
+        &self,
+        ln: &LayerNorm,
+        x: &Tensor,
+        key_mask: Option<&[f32]>,
+        scratch: &mut AttnScratch,
+    ) -> (Tensor, AttentionMaps) {
+        let AttnScratch { q, k, v, gs, .. } = scratch;
+        layer_norm_project_into(ln, &[&self.wq, &self.wk, &self.wv], x, gs, &mut [q, k, v]);
+        self.attend_with(key_mask, scratch)
+    }
+
+    /// The shared attention core: consumes the Q/K/V projections already
+    /// staged in `scratch` and produces the projected output plus per-head
+    /// maps.
+    fn attend_with(
+        &self,
+        key_mask: Option<&[f32]>,
+        scratch: &mut AttnScratch,
+    ) -> (Tensor, AttentionMaps) {
+        let n = scratch.q.dim(0);
         if let Some(m) = key_mask {
             assert_eq!(m.len(), n, "mask length must equal token count");
         }
-        self.wq.infer_into(x, &mut scratch.q);
-        self.wk.infer_into(x, &mut scratch.k);
-        self.wv.infer_into(x, &mut scratch.v);
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let mask = key_mask.map(Self::additive_mask);
         let mut outs = Vec::with_capacity(self.num_heads);
@@ -205,17 +239,24 @@ impl MultiHeadAttention {
             let qh = scratch.q.slice_cols(lo, hi);
             let kh = scratch.k.slice_cols(lo, hi);
             let vh = scratch.v.slice_cols(lo, hi);
-            let mut scores = qh.matmul_transb(&kh).scale(scale);
+            let mut raw = Tensor::default();
+            qh.matmul_transb_with(&kh, &mut scratch.gs, &mut raw);
+            let mut scores = raw.scale(scale);
             if let Some(m) = &mask {
                 scores = scores.add(m);
             }
             let attn = scores.softmax_rows();
-            outs.push(attn.matmul(&vh));
+            let mut oh = Tensor::default();
+            attn.matmul_with(&vh, &mut scratch.gs, &mut oh);
+            outs.push(oh);
             maps.push(attn);
         }
         let refs: Vec<&Tensor> = outs.iter().collect();
         Tensor::concat_cols_into(&refs, &mut scratch.heads);
-        (self.proj.infer(&scratch.heads), maps)
+        let mut out = Tensor::default();
+        self.proj
+            .infer_with(&scratch.heads, &mut scratch.gs, &mut out);
+        (out, maps)
     }
 
     /// Multiply–accumulate count for `n` tokens, split per paper Table II:
@@ -268,6 +309,26 @@ mod tests {
         assert!(tape.value(out).allclose(&out2, 1e-5));
         for (a, b) in maps.unwrap().iter().zip(maps2.iter()) {
             assert!(a.allclose(b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn fused_ln_path_is_bitwise_identical_to_unfused() {
+        use heatvit_nn::layers::LayerNorm;
+        let (m, mut rng) = msa(12, 3, 6);
+        let ln = LayerNorm::new(12);
+        for n_tokens in [1usize, 5, 9] {
+            let x = Tensor::rand_normal(&[n_tokens, 12], 0.0, 1.0, &mut rng);
+            let keep: Vec<f32> = (0..n_tokens).map(|i| (i % 2) as f32).collect();
+            for mask in [None, Some(keep.as_slice())] {
+                let (want, want_maps) = m.infer(&ln.infer(&x), mask);
+                let mut scratch = AttnScratch::default();
+                let (got, got_maps) = m.infer_ln_with(&ln, &x, mask, &mut scratch);
+                assert_eq!(got.data(), want.data(), "{n_tokens} tokens");
+                for (a, b) in got_maps.iter().zip(want_maps.iter()) {
+                    assert_eq!(a.data(), b.data());
+                }
+            }
         }
     }
 

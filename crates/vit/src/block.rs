@@ -92,14 +92,17 @@ impl EncoderBlock {
         key_mask: Option<&[f32]>,
         scratch: &mut InferScratch,
     ) -> (Tensor, AttentionMaps) {
-        self.ln1.infer_into(x, &mut scratch.normed);
+        // Both layer norms are fused into their downstream projections: the
+        // normalized activations stream tile-by-tile into the packed GEMM
+        // microkernel instead of round-tripping through `scratch.normed`.
         let (attn_out, maps) = self
             .attn
-            .infer_with(&scratch.normed, key_mask, &mut scratch.attn);
+            .infer_ln_with(&self.ln1, x, key_mask, &mut scratch.attn);
         let x = attn_out.add(x);
-        self.ln2.infer_into(&x, &mut scratch.normed);
-        self.ffn.infer_into(
-            &scratch.normed,
+        self.ffn.infer_fused_ln_with(
+            &self.ln2,
+            &x,
+            &mut scratch.gs,
             &mut scratch.ffn_hidden,
             &mut scratch.ffn_out,
         );

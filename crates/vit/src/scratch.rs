@@ -15,7 +15,7 @@
 //! build a fresh one — the allocating and scratch paths execute the exact
 //! same arithmetic and produce bit-identical results.
 
-use heatvit_tensor::Tensor;
+use heatvit_tensor::{GemmScratch, Tensor};
 
 /// Buffers reused by [`crate::MultiHeadAttention::infer_with`].
 #[derive(Debug, Clone, Default)]
@@ -28,6 +28,8 @@ pub struct AttnScratch {
     pub(crate) v: Tensor,
     /// Concatenated per-head outputs `[N, D]`.
     pub(crate) heads: Tensor,
+    /// Packed-GEMM workspace (weight panels + fused layer-norm tiles).
+    pub(crate) gs: GemmScratch,
 }
 
 /// Buffers reused by the block- and model-level inference paths.
@@ -39,12 +41,12 @@ pub struct AttnScratch {
 pub struct InferScratch {
     /// Attention-internal buffers.
     pub(crate) attn: AttnScratch,
-    /// Layer-norm output, reused for both pre-MSA and pre-FFN norms.
-    pub(crate) normed: Tensor,
     /// FFN hidden activation `[N, hidden]` — the largest buffer.
     pub(crate) ffn_hidden: Tensor,
     /// FFN output `[N, D]`.
     pub(crate) ffn_out: Tensor,
+    /// Packed-GEMM workspace for the block-level (FFN) projections.
+    pub(crate) gs: GemmScratch,
 }
 
 // Each engine worker thread owns one scratch; a future non-`Send` field must
