@@ -13,8 +13,14 @@
 //! outright (it wins over `--quick`). `--json <path>` additionally writes
 //! the table as a machine-readable report (one object per backend:
 //! images/s sequential and sharded, ms/image, MMACs, MAC speedup, final
-//! tokens, top-1 agreement) — the committed `BENCH_run_all.json` at the
-//! repo root is produced this way.
+//! tokens, predicted FPGA latency, top-1 agreement) — the committed
+//! `BENCH_run_all.json` at the repo root is produced this way.
+//!
+//! The `fpga-ms` column is the `heatvit-fpga` cycle model's prediction for
+//! one image on the paper's ZCU102 tiled-GEMM geometry — the accelerator
+//! latency the cost profiles imply, printed beside host wall-clock so the
+//! two cost orderings can be compared (they differ: int8 packing wins
+//! cycles on DSPs but loses wall-clock on the host's float units).
 //!
 //! Before timing, the binary asserts batched/single parity for every
 //! variant and sharded/sequential parity for the multi-threaded engine, so
@@ -23,9 +29,10 @@
 //! and must agree with the float dense model on ≥95 % of top-1 predictions
 //! — all asserted, not just printed.
 
-use heatvit::{BackendKind, Engine, InferenceModel};
+use heatvit::{BackendKind, Engine, InferenceModel, LatencyModel};
 use heatvit_bench::json::{self, JsonObject};
 use heatvit_bench::{build_backend, synthetic_batch};
+use heatvit_fpga::FpgaCycleModel;
 use heatvit_tensor::Tensor;
 
 const DEFAULT_BATCH: usize = 32;
@@ -53,6 +60,10 @@ struct Row {
     mmacs: f64,
     mac_speedup: f64,
     final_tokens: f64,
+    /// Predicted single-image latency on the paper's ZCU102 accelerator
+    /// model (`FpgaCycleModel` over this backend's cost profile) — a cycle
+    /// count at 150 MHz, not host wall-clock.
+    fpga_ms: f64,
     predictions: Vec<usize>,
 }
 
@@ -84,6 +95,10 @@ fn batch_size() -> usize {
 fn measure(kind: BackendKind, images: &[Tensor]) -> Row {
     let model = build_backend(kind);
     let dense_macs = InferenceModel::dense_macs(&model) as f64;
+    let fpga_ms = FpgaCycleModel::default()
+        .predict(&model.cost_profile())
+        .as_secs_f64()
+        * 1e3;
     let engine = Engine::builder(model).build();
 
     // Parity gate: every batched row must equal the per-image path bitwise.
@@ -126,6 +141,7 @@ fn measure(kind: BackendKind, images: &[Tensor]) -> Row {
         mmacs: out.mean_macs() / 1e6,
         mac_speedup: dense_macs / out.mean_macs().max(1.0),
         final_tokens: *out.mean_tokens_per_block().last().unwrap_or(&0.0),
+        fpga_ms,
         predictions: out.predictions(),
     }
 }
@@ -163,7 +179,7 @@ fn main() {
     );
 
     println!(
-        "{:<18} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "{:<18} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12} {:>14} {:>10} {:>12}",
         "variant",
         "images/s(1t)",
         format!("images/s({PAR_THREADS}t)"),
@@ -172,13 +188,14 @@ fn main() {
         "MMACs/img",
         "MAC-speedup",
         "final tokens",
+        "fpga-ms",
         "top1-vs-f32"
     );
-    println!("{}", "-".repeat(120));
+    println!("{}", "-".repeat(131));
     for r in &rows {
         let agree = agreement(r, reference);
         println!(
-            "{:<18} {:>12.1} {:>12.1} {:>9.2}x {:>10.3} {:>12.2} {:>11.2}x {:>14.1} {:>11.1}%",
+            "{:<18} {:>12.1} {:>12.1} {:>9.2}x {:>10.3} {:>12.2} {:>11.2}x {:>14.1} {:>10.3} {:>11.1}%",
             r.kind.label(),
             r.throughput,
             r.throughput_par,
@@ -187,6 +204,7 @@ fn main() {
             r.mmacs,
             r.mac_speedup,
             r.final_tokens,
+            r.fpga_ms,
             agree * 100.0
         );
         if r.kind.is_quantized() {
@@ -208,6 +226,10 @@ fn main() {
     println!(
         "\nparity: batched logits bitwise-identical to per-image inference for all variants, \
          and the {PAR_THREADS}-thread sharded engine bitwise-identical to sequential"
+    );
+    println!(
+        "fpga-ms: FpgaCycleModel prediction per image on the paper's ZCU102 geometry (tiled GEMM \
+         cycles at 150 MHz, int8 rows DSP-packed) — accelerator latency, not host wall-clock"
     );
     println!(
         "int8 rows: packed-DSP-equivalent MACs (raw / {:.1}), top-1 agreement vs. float dense \
@@ -245,6 +267,7 @@ fn main() {
                 .num("mmacs_per_image", r.mmacs)
                 .num("mac_speedup", r.mac_speedup)
                 .num("final_tokens", r.final_tokens)
+                .num("predicted_fpga_ms", r.fpga_ms)
                 .num("top1_agreement_vs_f32", agreement(r, reference))
                 .build()
         }));

@@ -1,33 +1,57 @@
 //! Closed-loop serving demo: a `heatvit-serve` [`Server`] per backend,
 //! driven by a paced load generator that sweeps arrival rates and prints a
-//! latency/throughput/deadline-miss table.
+//! latency/throughput/deadline-miss table — plus the latency-model
+//! rank-order check and the SLO-aware tiered overload sweep.
 //!
 //! ```text
 //! cargo run --release -p heatvit-bench --bin serve_demo [-- --quick]
 //! ```
 //!
-//! For every [`BackendKind`] the demo first measures offline batch capacity
-//! (images/s through a plain `Engine`), then sweeps arrival rates at fixed
-//! fractions of that capacity. The generator is *closed-loop*: it paces
-//! submissions at the target rate but blocks whenever the server's bounded
-//! queue is full, so overload sheds into submission lag (visible as
-//! `offered < target`) instead of drops — **zero requests are ever
-//! dropped**, asserted per run. Every served response is also asserted
-//! bitwise identical to `Engine::infer_batch` on the same image, so the
-//! table only prints verified arithmetic.
+//! Three sections:
+//!
+//! 1. **Per-backend sweep.** For every [`BackendKind`] the demo measures
+//!    offline batch capacity (images/s through a plain `Engine`), then
+//!    sweeps arrival rates at fixed fractions of that capacity. The
+//!    generator is *closed-loop*: it paces submissions at the target rate
+//!    but blocks whenever the server's bounded queue is full, so overload
+//!    sheds into submission lag (visible as `offered < target`) instead of
+//!    drops — **zero requests are ever dropped**, asserted per run. Every
+//!    served response is also asserted bitwise identical to
+//!    `Engine::infer_batch` on the same image.
+//! 2. **Latency models vs. measured.** Each backend's offline run feeds a
+//!    `MeasuredEwma` whose prior is the `heatvit-fpga` cycle model. The
+//!    demo prints the raw FPGA-prior prediction, the warmed EWMA
+//!    prediction, and the measured per-image time side by side, and
+//!    **asserts** that the warmed model rank-orders all five backends
+//!    exactly as measured. (The raw prior ranks *accelerator* latency —
+//!    int8 packing wins cycles on DSPs but loses host wall-clock — so its
+//!    agreement is reported, not asserted.)
+//! 3. **SLO-aware tiered overload sweep.** One tiered server over the
+//!    dense → static-pruned → adaptive-pruned ladder, predictive admission
+//!    on, driven by an 80/20 Normal/High mix at 1× and 2.5× of dense
+//!    capacity. High is pinned to dense and must finish with **zero sheds
+//!    and zero deadline misses** (asserted); Normal degrades down the
+//!    keep-rate ladder under overload (asserted) and sheds only when even
+//!    the cheapest level predicts a miss. The per-class table reports
+//!    p50/p95, miss%, sheds, degradations, and the mean-keep accuracy
+//!    proxy.
 //!
 //! `--quick` shrinks the request count and sweep for CI smoke runs;
 //! `HEATVIT_SERVE_REQUESTS` overrides the per-run request count outright.
-//! `--json <path>` additionally writes the sweep as a machine-readable
-//! report (one object per backend × rate: offline capacity, target and
-//! offered rates, served images/s, p50/p95 latency, deadline-miss
-//! percentage, mean batch) — the committed `BENCH_serve.json` at the repo
+//! `--json <path>` additionally writes the sweeps as a machine-readable
+//! report (`runs` one object per backend × rate, `slo_runs` one object per
+//! overload × SLO class) — the committed `BENCH_serve.json` at the repo
 //! root is produced this way.
 
-use heatvit::{BackendKind, Engine};
+use heatvit::{
+    rank_by_predicted, Backend, BackendKind, CostProfile, Engine, InferenceModel, LatencyModel,
+    MeasuredEwma,
+};
 use heatvit_bench::json::{self, JsonObject};
 use heatvit_bench::{build_backend, synthetic_batch};
-use heatvit_serve::{InferRequest, Priority, ServeConfig, Server};
+use heatvit_fpga::FpgaCycleModel;
+use heatvit_serve::{InferRequest, Priority, ServeConfig, Server, SloPolicy, SubmitError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Distinct images cycled by the generator (and the parity reference).
@@ -37,6 +61,19 @@ const QUICK_REQUESTS: usize = 24;
 /// Arrival-rate sweep as fractions of measured offline batch capacity.
 const SWEEP: [f64; 3] = [0.25, 0.5, 1.0];
 const QUICK_SWEEP: [f64; 2] = [0.5, 1.0];
+/// Overload factors of the SLO sweep (fractions of *dense* capacity — the
+/// level High is pinned to). The second run is the ≥2× overload gate.
+const SLO_SWEEP: [f64; 2] = [1.0, 2.5];
+/// One High-priority request per this many submissions in the SLO sweep.
+const HIGH_EVERY: usize = 5;
+/// The service-level ladder of the SLO sweep, most accurate first. Host
+/// wall-clock happens to increase in the same order (dense slowest), so
+/// degradation buys real latency at each step.
+const SLO_LADDER: [BackendKind; 3] = [
+    BackendKind::Dense,
+    BackendKind::StaticPruned,
+    BackendKind::AdaptivePruned,
+];
 
 fn quick() -> bool {
     std::env::args().any(|a| a == "--quick")
@@ -64,6 +101,15 @@ struct RunResult {
     report: heatvit_serve::ServeReport,
 }
 
+/// Offline measurement of one backend: capacity, parity reference, cost
+/// profile, and the per-image wall-clock that seeds the EWMA.
+struct Offline {
+    kind: BackendKind,
+    capacity: f64,
+    per_image: Duration,
+    profile: CostProfile,
+}
+
 /// One closed-loop run: `requests` paced submissions at `target_rate`
 /// against a fresh server, all tickets resolved, zero-drop and bitwise
 /// parity asserted.
@@ -81,7 +127,7 @@ fn run_load(
         idle_flush: Duration::from_micros(500),
         deadline_slack: Duration::from_millis(1),
         default_deadline: deadline_budget,
-        engine: heatvit::EngineConfig::default(),
+        ..ServeConfig::default()
     };
     let server = Server::start(build_backend(kind), config);
 
@@ -132,6 +178,201 @@ fn run_load(
     }
 }
 
+/// Section 2: the latency-model comparison table and the rank-order gate.
+fn latency_model_section(offline: &[Offline], ewma: &MeasuredEwma) -> (f64, f64) {
+    let prior = FpgaCycleModel::default();
+    println!("\nlatency models vs. measured host wall-clock (per image):");
+    println!(
+        "{:<18} {:>12} {:>15} {:>13}",
+        "backend", "measured-ms", "fpga-prior-ms", "ewma-ms"
+    );
+    println!("{}", "-".repeat(61));
+    let mut prior_err = 0.0f64;
+    let mut ewma_err = 0.0f64;
+    for o in offline {
+        let measured = o.per_image.as_secs_f64();
+        let p = prior.predict(&o.profile).as_secs_f64();
+        let e = ewma.predict(&o.profile).as_secs_f64();
+        prior_err += (p - measured).abs() / measured;
+        ewma_err += (e - measured).abs() / measured;
+        println!(
+            "{:<18} {:>12.3} {:>15.3} {:>13.3}",
+            o.kind.label(),
+            measured * 1e3,
+            p * 1e3,
+            e * 1e3
+        );
+    }
+    prior_err = 100.0 * prior_err / offline.len() as f64;
+    ewma_err = 100.0 * ewma_err / offline.len() as f64;
+
+    let profiles: Vec<CostProfile> = offline.iter().map(|o| o.profile.clone()).collect();
+    let mut measured_order: Vec<usize> = (0..offline.len()).collect();
+    measured_order.sort_by(|&a, &b| offline[a].per_image.cmp(&offline[b].per_image));
+    let name = |order: &[usize]| {
+        order
+            .iter()
+            .map(|&i| offline[i].kind.label())
+            .collect::<Vec<_>>()
+            .join(" < ")
+    };
+    let prior_order = rank_by_predicted(&prior, &profiles);
+    let ewma_order = rank_by_predicted(ewma, &profiles);
+    let prior_agree = prior_order
+        .iter()
+        .zip(measured_order.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "\nmeasured rank (fastest first):   {}",
+        name(&measured_order)
+    );
+    println!(
+        "fpga-prior rank:                 {}   ({prior_agree}/{} positions match measured — \
+         accelerator cycle order, reported not asserted)",
+        name(&prior_order),
+        offline.len()
+    );
+    println!("measured-EWMA rank:              {}", name(&ewma_order));
+    assert_eq!(
+        ewma_order, measured_order,
+        "warmed MeasuredEwma over the FPGA prior must rank-order every backend as measured"
+    );
+    println!(
+        "rank-order gate: warmed EWMA (fpga prior) orders all {} backends exactly as measured \
+         (asserted)",
+        offline.len()
+    );
+    println!(
+        "predicted-vs-measured latency error: fpga prior {prior_err:.1}%, warmed EWMA \
+         {ewma_err:.1}% (mean per-image, all backends)"
+    );
+    (prior_err, ewma_err)
+}
+
+struct SloClassRow {
+    factor: f64,
+    class: Priority,
+    completed: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    miss_pct: f64,
+    sheds: u64,
+    degraded: u64,
+    mean_keep: f64,
+    predicted_error_pct: f64,
+}
+
+/// Section 3: one SLO overload run against the tiered ladder. Returns the
+/// per-class rows for the table and JSON.
+fn run_slo(
+    factor: f64,
+    requests: usize,
+    dense_capacity: f64,
+    ewma: &Arc<MeasuredEwma>,
+    images: &[heatvit_tensor::Tensor],
+) -> Vec<SloClassRow> {
+    let per_image = Duration::from_secs_f64(1.0 / dense_capacity.max(1.0));
+    let batch_window = per_image * 8;
+    // Normal's budget binds under overload (degradation is the point);
+    // High's is generous enough that only a bug — not scheduler jitter —
+    // could miss it.
+    let normal_budget = (batch_window * 4).max(Duration::from_millis(8));
+    let high_budget = (batch_window * 40).max(Duration::from_millis(100));
+    let config = ServeConfig {
+        max_batch: 8,
+        queue_capacity: 32,
+        idle_flush: Duration::from_micros(500),
+        deadline_slack: Duration::from_millis(1),
+        default_deadline: normal_budget,
+        slo: SloPolicy {
+            enabled: true,
+            admission_slack: Duration::from_millis(1),
+            shed_normal: true,
+        },
+        ..ServeConfig::default()
+    };
+    let models: Vec<Backend> = SLO_LADDER.into_iter().map(build_backend).collect();
+    let server = Server::start_tiered(models, config, Arc::clone(ewma) as Arc<dyn LatencyModel>);
+
+    let target = dense_capacity * factor;
+    let interval = Duration::from_secs_f64(1.0 / target.max(1.0));
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(requests);
+    let mut submitted = 0u64;
+    let mut shed_at_submit = 0u64;
+    for i in 0..requests {
+        let due = started + interval.mul_f64(i as f64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let high = i % HIGH_EVERY == 0;
+        let request = InferRequest {
+            image: images[i % images.len()].clone(),
+            deadline: Instant::now() + if high { high_budget } else { normal_budget },
+            priority: if high {
+                Priority::High
+            } else {
+                Priority::Normal
+            },
+        };
+        submitted += 1;
+        match server.submit(request) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SubmitError::Shed { request, .. }) => {
+                assert_eq!(
+                    request.priority,
+                    Priority::Normal,
+                    "only Normal requests may be shed"
+                );
+                shed_at_submit += 1;
+            }
+            Err(other) => panic!("unexpected submit refusal at {factor:.1}x: {other}"),
+        }
+    }
+    for ticket in tickets {
+        ticket.wait();
+    }
+    let report = server.shutdown();
+
+    // Accepted-never-dropped still holds with admission in front.
+    assert_eq!(report.completed + shed_at_submit, submitted);
+    assert_eq!(report.sheds(), shed_at_submit);
+    let high = report.class(Priority::High);
+    assert_eq!(high.sheds, 0, "High must never be shed ({factor:.1}x)");
+    assert_eq!(
+        high.deadline_misses, 0,
+        "High must never miss its deadline ({factor:.1}x)"
+    );
+    assert_eq!(high.degraded, 0, "High stays pinned to the dense level");
+    if factor >= 2.0 {
+        let normal = report.class(Priority::Normal);
+        assert!(
+            normal.degraded > 0,
+            "overload at {factor:.1}x must degrade Normal down the keep-rate ladder"
+        );
+    }
+
+    [Priority::High, Priority::Normal]
+        .into_iter()
+        .map(|class| {
+            let c = report.class(class);
+            SloClassRow {
+                factor,
+                class,
+                completed: c.completed,
+                p50_ms: c.p50_ms,
+                p95_ms: c.p95_ms,
+                miss_pct: c.miss_rate() * 100.0,
+                sheds: c.sheds,
+                degraded: c.degraded,
+                mean_keep: c.mean_keep,
+                predicted_error_pct: report.predicted_error_pct,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let requests = requests_per_run();
     let images = synthetic_batch(IMAGE_POOL, 0);
@@ -155,13 +396,22 @@ fn main() {
     );
     println!("{}", "-".repeat(116));
 
+    // The online latency model the whole demo shares: FPGA cycle prior,
+    // corrected by every measured execution (offline batches here, then
+    // the tiered server's own batches).
+    let ewma = Arc::new(MeasuredEwma::new(FpgaCycleModel::default(), 0.25));
+
+    let mut offline: Vec<Offline> = Vec::new();
     let mut json_runs: Vec<String> = Vec::new();
     for kind in BackendKind::ALL {
         // Offline capacity + the bitwise parity reference for this backend.
-        let engine = Engine::builder(build_backend(kind)).build();
+        let model = build_backend(kind);
+        let profile = model.cost_profile();
+        let engine = Engine::builder(model).build();
         engine.infer_batch(&images); // warm the scratch pool
         let reference = engine.infer_batch(&images);
         let capacity = reference.throughput();
+        ewma.observe(&profile, reference.len(), reference.elapsed);
         // Deadline budget: generous at low load, binding near saturation —
         // a full batch plus slack, floored for scheduler granularity.
         let per_image = Duration::from_secs_f64(1.0 / capacity.max(1.0));
@@ -197,9 +447,16 @@ fn main() {
                     .num("p95_ms", r.p95_ms)
                     .num("miss_pct", r.miss_rate() * 100.0)
                     .num("mean_batch", r.mean_batch)
+                    .num("predicted_error_pct", r.predicted_error_pct)
                     .build(),
             );
         }
+        offline.push(Offline {
+            kind,
+            capacity,
+            per_image,
+            profile,
+        });
     }
 
     println!("\nzero dropped requests across the sweep (asserted: completed == submitted per run)");
@@ -212,12 +469,93 @@ fn main() {
          miss% reports responses resolved after their deadline — reported, never dropped"
     );
 
+    let (prior_err, ewma_err) = latency_model_section(&offline, &ewma);
+
+    // Section 3: the SLO overload sweep against the tiered ladder.
+    let dense_capacity = offline
+        .iter()
+        .find(|o| o.kind == BackendKind::Dense)
+        .expect("dense is always measured")
+        .capacity;
+    let slo_requests = requests.max(48);
+    println!(
+        "\nSLO-aware tiered serving: ladder {} (most accurate first), predictive admission on, \
+         1-in-{HIGH_EVERY} requests High, {slo_requests} requests per run, overload = fraction \
+         of dense capacity ({dense_capacity:.0} img/s)",
+        SLO_LADDER
+            .iter()
+            .map(|k| k.label())
+            .collect::<Vec<_>>()
+            .join(" > ")
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>9} {:>9} {:>7} {:>6} {:>9} {:>10}",
+        "overload",
+        "class",
+        "completed",
+        "p50(ms)",
+        "p95(ms)",
+        "miss%",
+        "shed",
+        "degraded",
+        "mean-keep"
+    );
+    println!("{}", "-".repeat(84));
+    let mut json_slo: Vec<String> = Vec::new();
+    for factor in SLO_SWEEP {
+        let rows = run_slo(factor, slo_requests, dense_capacity, &ewma, &images);
+        for row in &rows {
+            println!(
+                "{:>7.1}x {:>8} {:>10} {:>9.2} {:>9.2} {:>6.1}% {:>6} {:>9} {:>10.3}",
+                row.factor,
+                row.class.label(),
+                row.completed,
+                row.p50_ms,
+                row.p95_ms,
+                row.miss_pct,
+                row.sheds,
+                row.degraded,
+                row.mean_keep,
+            );
+            json_slo.push(
+                JsonObject::new()
+                    .num("overload", row.factor)
+                    .str("class", row.class.label())
+                    .int("completed", row.completed)
+                    .num("p50_ms", row.p50_ms)
+                    .num("p95_ms", row.p95_ms)
+                    .num("miss_pct", row.miss_pct)
+                    .int("sheds", row.sheds)
+                    .int("degraded", row.degraded)
+                    .num("mean_keep", row.mean_keep)
+                    .num("predicted_error_pct", row.predicted_error_pct)
+                    .build(),
+            );
+        }
+        let error = rows[0].predicted_error_pct;
+        println!(
+            "         predicted-vs-measured latency error at {factor:.1}x: {error:.1}% \
+             (mean per warmed batch, admission EWMA)"
+        );
+    }
+    println!(
+        "high-priority SLO held: zero sheds, zero deadline misses, zero degradations at every \
+         overload (asserted)"
+    );
+    println!(
+        "normal degrades before High sheds: under >=2x overload Normal moves down the keep-rate \
+         ladder (mean-keep < 1, asserted) and is shed only when every level predicts a miss"
+    );
+
     if let Some(path) = json::path_from_args() {
         let report = JsonObject::new()
             .str("bench", "serve_demo")
             .int("requests_per_run", requests as u64)
             .int("image_pool", IMAGE_POOL as u64)
+            .num("latency_prior_error_pct", prior_err)
+            .num("latency_ewma_error_pct", ewma_err)
             .raw("runs", json::array(json_runs))
+            .raw("slo_runs", json::array(json_slo))
             .build();
         std::fs::write(&path, report + "\n")
             .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));

@@ -39,6 +39,12 @@ pub fn adaptive_pruned(backbone: VisionTransformer, seed: u64) -> PrunedViT {
     for &block in &DEMO_SELECTOR_BLOCKS {
         model.insert_selector(block, TokenSelector::new(dim, heads, &mut rng));
     }
+    // Declare the schedule's keep targets so the model's cost profile (and
+    // every latency model over it) sees the planned token counts instead of
+    // a dense-shaped upper bound.
+    for (&block, &keep) in DEMO_SELECTOR_BLOCKS.iter().zip(DEMO_STAGE_KEEPS.iter()) {
+        model.set_nominal_keep(block, keep);
+    }
     model
 }
 
@@ -83,6 +89,10 @@ pub fn quantized_adaptive(backbone: &VisionTransformer) -> QuantizedViT {
             attn_frac: 0.9,
         },
     ]);
+    // Nominal keep per attention-threshold stage for cost prediction (the
+    // 0.9×-mean cut retains roughly the demo schedule's fraction; actual
+    // counts are input-dependent, which the cost profile marks inexact).
+    model.set_nominal_keep(&DEMO_STAGE_KEEPS);
     model.calibrate(&synthetic_batch(8, CALIBRATION_SEED));
     model
 }

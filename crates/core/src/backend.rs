@@ -129,6 +129,15 @@ impl InferenceModel for Backend {
             Backend::Quantized(m) => InferenceModel::dense_macs(m),
         }
     }
+
+    fn cost_profile(&self) -> crate::latency::CostProfile {
+        match self {
+            Backend::Dense(m) => m.cost_profile(),
+            Backend::AdaptivePruned(m) => m.cost_profile(),
+            Backend::StaticPruned(m) => m.cost_profile(),
+            Backend::Quantized(m) => m.cost_profile(),
+        }
+    }
 }
 
 /// The closed set of well-known backend configurations.

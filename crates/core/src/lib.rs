@@ -67,12 +67,14 @@
 
 mod backend;
 mod engine;
+mod latency;
 mod model;
 
 pub use backend::{Backend, BackendKind};
 pub use engine::{
     BatchOutput, Engine, EngineBuilder, EngineConfig, EngineReport, ThreadCount, MAX_AUTO_THREADS,
 };
+pub use latency::{rank_by_predicted, CostProfile, LatencyModel, MacProxyModel, MeasuredEwma};
 pub use model::{InferenceModel, ModelOutput};
 
 // Re-export the workspace crates so `heatvit` works as a facade.

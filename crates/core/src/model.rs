@@ -1,6 +1,7 @@
 //! The [`InferenceModel`] trait: one interface over the dense, adaptively
 //! pruned, statically pruned, and int8-quantized ViT variants.
 
+use crate::latency::CostProfile;
 use heatvit_quant::QuantizedViT;
 use heatvit_selector::{PruneScratch, PrunedViT, StaticPrunedViT};
 use heatvit_tensor::Tensor;
@@ -54,6 +55,45 @@ pub trait InferenceModel: Send + Sync {
     /// Multiply–accumulate count with the full token count in every block —
     /// the dense-cost baseline pruning is measured against.
     fn dense_macs(&self) -> u64;
+
+    /// What one inference through this model is *expected* to compute,
+    /// without running inference: the [`CostProfile`] a
+    /// [`crate::LatencyModel`] turns into a predicted service time.
+    ///
+    /// The default is the dense profile (full tokens everywhere, float
+    /// arithmetic) — correct for the dense baseline and a conservative
+    /// over-estimate for anything else. Pruned and quantized variants
+    /// override it with their planned/nominal token schedules and
+    /// arithmetic family.
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile::dense(self.variant(), self.config(), self.dense_macs())
+    }
+}
+
+/// Borrowed models are models too (`M: Sync` comes with the supertraits),
+/// so an [`crate::Engine`] can drive a model it does not own — e.g. a
+/// training loop evaluating throughput on the model it is still updating
+/// between epochs.
+impl<M: InferenceModel + ?Sized> InferenceModel for &M {
+    fn variant(&self) -> &str {
+        (**self).variant()
+    }
+
+    fn config(&self) -> &ViTConfig {
+        (**self).config()
+    }
+
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        (**self).infer_one(image, scratch)
+    }
+
+    fn dense_macs(&self) -> u64 {
+        (**self).dense_macs()
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        (**self).cost_profile()
+    }
 }
 
 /// Boxed (and boxed-trait-object) models are models too, so an
@@ -74,6 +114,10 @@ impl<M: InferenceModel + ?Sized> InferenceModel for Box<M> {
 
     fn dense_macs(&self) -> u64 {
         (**self).dense_macs()
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        (**self).cost_profile()
     }
 }
 
@@ -122,6 +166,22 @@ impl InferenceModel for PrunedViT {
     fn dense_macs(&self) -> u64 {
         self.backbone().macs()
     }
+
+    /// Nominal-keep expectation: per-image counts vary with input content
+    /// (`exact == false` whenever a selector is installed), but the
+    /// declared keep schedule is what the selectors were trained toward.
+    fn cost_profile(&self) -> CostProfile {
+        let tokens = self.expected_tokens_per_block();
+        let macs = self.macs_for_tokens(&tokens);
+        CostProfile {
+            variant: self.variant().to_string(),
+            config: InferenceModel::config(self).clone(),
+            exact: self.selector_blocks().is_empty(),
+            quantized: false,
+            macs,
+            tokens_per_block: tokens,
+        }
+    }
 }
 
 impl InferenceModel for QuantizedViT {
@@ -154,6 +214,22 @@ impl InferenceModel for QuantizedViT {
     fn dense_macs(&self) -> u64 {
         self.dense_macs()
     }
+
+    /// Quantized profile (`quantized == true`, packed-DSP-equivalent MACs);
+    /// exact for the dense int8 variant, a nominal-keep expectation when
+    /// attention-threshold pruning stages are installed.
+    fn cost_profile(&self) -> CostProfile {
+        let tokens = self.expected_tokens_per_block();
+        let macs = self.packed_macs_for(&tokens);
+        CostProfile {
+            variant: self.variant().to_string(),
+            config: self.config().clone(),
+            exact: self.prune_stages().is_empty(),
+            quantized: true,
+            macs,
+            tokens_per_block: tokens,
+        }
+    }
 }
 
 impl InferenceModel for StaticPrunedViT {
@@ -177,5 +253,20 @@ impl InferenceModel for StaticPrunedViT {
 
     fn dense_macs(&self) -> u64 {
         self.backbone().macs()
+    }
+
+    /// Exact profile: static pruning is input-agnostic, so the planned
+    /// schedule is the schedule every image executes.
+    fn cost_profile(&self) -> CostProfile {
+        let tokens = self.planned_tokens_per_block();
+        let macs = self.macs_for_tokens(&tokens);
+        CostProfile {
+            variant: self.variant().to_string(),
+            config: InferenceModel::config(self).clone(),
+            exact: true,
+            quantized: false,
+            macs,
+            tokens_per_block: tokens,
+        }
     }
 }

@@ -1,14 +1,30 @@
 //! # heatvit-fpga
 //!
 //! Latency and resource model of the HeatViT FPGA accelerator: the tiled
-//! GEMM engine (paper Fig. 8), DSP packing for int8 MACs, and the
-//! Table III/IV cycle accounting.
+//! GEMM engine (paper Fig. 8), int8 DSP packing, and the Table III/IV
+//! cycle and resource accounting.
 //!
-//! Placeholder: the int8 arithmetic it models is implemented in
-//! `heatvit-quant` (whose `DSP_PACKING_FACTOR = 1.9` and
-//! packed-DSP-equivalent MAC accounting this cycle model will consume), and
-//! per-variant MAC counts flow through
-//! `heatvit::InferenceModel::infer_one`; the cycle/BRAM model lands in a
-//! follow-up PR (see `ROADMAP.md` → Open items).
+//! The accelerator executes a ViT as a sequence of GEMMs — the six
+//! Table II layers per block, plus the patch embedding and the
+//! classification head — on one systolic `tile_m × tile_n` MAC array that
+//! streams the reduction dimension. `heatvit-vit` exposes exactly those
+//! GEMM geometries ([`heatvit_vit::flops::GemmShape`]), so the cycle model
+//! here and the workspace's MAC model agree by construction; the int8 path
+//! consumes `heatvit-quant`'s [`DSP_PACKING_FACTOR`](heatvit_quant::DSP_PACKING_FACTOR)
+//! so the ~1.9× packed-DSP claim is one constant shared by the arithmetic,
+//! the MAC accounting, and the cycle model.
+//!
+//! [`FpgaCycleModel`] implements `heatvit`'s
+//! [`LatencyModel`](heatvit::LatencyModel), turning any backend's
+//! [`CostProfile`](heatvit::CostProfile) into predicted cycles and wall
+//! clock — the cost signal the serving layer's predictive admission
+//! consumes (directly on an FPGA deployment, or as the cold-start prior of
+//! `heatvit::MeasuredEwma` on a host).
 
 #![warn(missing_docs)]
+
+mod cycle;
+mod resources;
+
+pub use cycle::{FpgaCycleModel, GemmCycles, Precision};
+pub use resources::{FpgaConfig, FpgaResources};

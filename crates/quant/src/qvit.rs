@@ -386,6 +386,11 @@ pub struct QuantizedViT {
     delta1: f32,
     delta2: f32,
     stages: Vec<QuantPruneStage>,
+    /// Nominal keep ratio per stage (fraction of original patch tokens
+    /// expected to survive), for cost prediction only — empty means "treat
+    /// every stage as keeping everything" (conservative). Same length as
+    /// `stages` once declared.
+    nominal_keep: Vec<f32>,
     calibrated: bool,
 }
 
@@ -426,6 +431,7 @@ impl QuantizedViT {
             delta1: 1.0,
             delta2: 1.0,
             stages: Vec::new(),
+            nominal_keep: Vec::new(),
             calibrated: false,
         }
     }
@@ -450,6 +456,7 @@ impl QuantizedViT {
             last = s.block;
         }
         self.stages = stages;
+        self.nominal_keep.clear();
         self
     }
 
@@ -476,6 +483,65 @@ impl QuantizedViT {
     /// The installed pruning stages (empty for the dense variant).
     pub fn prune_stages(&self) -> &[QuantPruneStage] {
         &self.stages
+    }
+
+    /// Declares the nominal keep ratio of each pruning stage (fraction of
+    /// the *original* patch tokens expected to survive from that stage on),
+    /// for cost prediction only. The attention-threshold stages still
+    /// decide per image — this records what the thresholds were tuned for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keeps` is not one ratio per installed stage or any ratio
+    /// is outside `(0, 1]`.
+    pub fn set_nominal_keep(&mut self, keeps: &[f32]) {
+        assert_eq!(
+            keeps.len(),
+            self.stages.len(),
+            "need one nominal keep ratio per pruning stage"
+        );
+        assert!(
+            keeps.iter().all(|&k| k > 0.0 && k <= 1.0),
+            "keep ratios must be in (0, 1]"
+        );
+        self.nominal_keep = keeps.to_vec();
+    }
+
+    /// Expected token count entering each block under the declared nominal
+    /// stage keep ratios: kept patches + class token + package token once
+    /// pruning has begun (the int8 pruning stages always consolidate pruned
+    /// tokens into a package). Without a
+    /// [`QuantizedViT::set_nominal_keep`] declaration every stage is
+    /// treated as keeping all tokens — a conservative over-estimate.
+    pub fn expected_tokens_per_block(&self) -> Vec<usize> {
+        let n = self.config.num_patches();
+        let mut keep = 1.0f32;
+        let mut out = Vec::with_capacity(self.config.depth);
+        let mut stage_iter = self.stages.iter().zip(
+            self.nominal_keep
+                .iter()
+                .copied()
+                .chain(std::iter::repeat(1.0)),
+        );
+        let mut next = stage_iter.next();
+        for bi in 0..self.config.depth {
+            if let Some((stage, k)) = next {
+                if stage.block == bi {
+                    keep = k;
+                    next = stage_iter.next();
+                }
+            }
+            let kept = ((keep * n as f32).ceil() as usize).clamp(1, n);
+            out.push(kept + 1 + usize::from(keep < 1.0));
+        }
+        out
+    }
+
+    /// Packed-DSP-equivalent MAC count at an arbitrary per-block token
+    /// schedule — exactly the accounting [`QuantizedViT::infer`] reports
+    /// for an inference whose actual counts equal `tokens_per_block`.
+    pub fn packed_macs_for(&self, tokens_per_block: &[usize]) -> u64 {
+        packed_macs(self.raw_macs_for(tokens_per_block))
     }
 
     /// Overrides the regularization factors `δ₁` (GELU) and `δ₂` (softmax).

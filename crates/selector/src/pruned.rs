@@ -60,6 +60,10 @@ pub struct PrunedViT {
     backbone: VisionTransformer,
     selectors: Vec<Option<TokenSelector>>,
     package_enabled: bool,
+    /// Nominal keep ratio in force from each block on (fraction of the
+    /// original patch tokens), used for cost prediction only — the
+    /// selectors decide the actual per-image keep set.
+    nominal_keep: Vec<f32>,
 }
 
 // Serving worker pools own models and move them across threads; a future
@@ -82,6 +86,7 @@ impl PrunedViT {
             backbone,
             selectors: (0..depth).map(|_| None).collect(),
             package_enabled: true,
+            nominal_keep: vec![1.0; depth],
         }
     }
 
@@ -338,15 +343,64 @@ impl PrunedViT {
     /// Multiply–accumulate count of one inference, including selector
     /// overhead, using the actual per-block token counts from `inference`.
     pub fn macs(&self, inference: &PrunedInference) -> u64 {
+        self.macs_for_tokens(&inference.tokens_per_block)
+    }
+
+    /// [`PrunedViT::macs`] at an arbitrary per-block token schedule —
+    /// the cost-prediction entry point (e.g. over
+    /// [`PrunedViT::expected_tokens_per_block`], no inference needed).
+    pub fn macs_for_tokens(&self, tokens_per_block: &[usize]) -> u64 {
         let mut total = self.backbone.patch_embed().macs();
         for (i, block) in self.backbone.blocks().iter().enumerate() {
-            let n = inference.tokens_per_block[i];
+            let n = tokens_per_block[i];
             total += block.macs(n);
             if let Some(sel) = &self.selectors[i] {
                 total += sel.macs(n.saturating_sub(1));
             }
         }
         total + self.backbone.config().embed_dim as u64 * self.backbone.config().num_classes as u64
+    }
+
+    /// Declares the nominal keep ratio of the selector at `block`: the
+    /// fraction of the *original* patch tokens expected to survive from
+    /// that block on (the schedule's target keep, paper Table I). Cost
+    /// prediction only — the selector still decides per image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` has no selector installed or `keep` is outside
+    /// `(0, 1]`.
+    pub fn set_nominal_keep(&mut self, block: usize, keep: f32) {
+        assert!(
+            block < self.selectors.len() && self.selectors[block].is_some(),
+            "no selector installed at block {block}"
+        );
+        assert!(keep > 0.0 && keep <= 1.0, "keep ratio must be in (0, 1]");
+        for k in self.nominal_keep.iter_mut().skip(block) {
+            *k = keep;
+        }
+    }
+
+    /// Nominal keep ratio in force at each block (1.0 until a
+    /// [`PrunedViT::set_nominal_keep`] declaration takes effect).
+    pub fn nominal_keep(&self) -> &[f32] {
+        &self.nominal_keep
+    }
+
+    /// Expected token count entering each block under the declared nominal
+    /// keep ratios: kept patches + class token + package token once pruning
+    /// has begun (if packaging is enabled). With no declarations this is
+    /// the dense schedule — a conservative (over-)estimate for cost
+    /// prediction.
+    pub fn expected_tokens_per_block(&self) -> Vec<usize> {
+        let n = self.backbone.config().num_patches() as f32;
+        self.nominal_keep
+            .iter()
+            .map(|&k| {
+                let kept = ((k * n).ceil() as usize).clamp(1, n as usize);
+                kept + 1 + usize::from(k < 1.0 && self.package_enabled)
+            })
+            .collect()
     }
 }
 

@@ -110,6 +110,33 @@ impl StaticPrunedViT {
         &self.backbone
     }
 
+    /// The installed pruning stages, in block order.
+    pub fn stages(&self) -> &[StaticStage] {
+        &self.stages
+    }
+
+    /// The token count entering each block, computed without running
+    /// inference. Static pruning is input-agnostic, so this is *exact*:
+    /// every image sees these counts (mirrors the clamp-and-ceil keep
+    /// arithmetic of [`StaticPrunedViT::infer_with`] stage by stage).
+    pub fn planned_tokens_per_block(&self) -> Vec<usize> {
+        let depth = self.backbone.config().depth;
+        let mut n_patches = self.backbone.config().num_patches();
+        let mut out = Vec::with_capacity(depth);
+        let mut stage_iter = self.stages.iter().peekable();
+        for bi in 0..depth {
+            if let Some(stage) = stage_iter.peek() {
+                if stage.block == bi {
+                    n_patches =
+                        ((stage.keep_ratio * n_patches as f32).ceil() as usize).clamp(1, n_patches);
+                    stage_iter.next();
+                }
+            }
+            out.push(n_patches + 1); // + class token
+        }
+        out
+    }
+
     /// Ranks current patch tokens; higher score = more informative.
     fn scores(&self, tokens: &Tensor, cls_attention: Option<&[f32]>, rng: &mut StdRng) -> Vec<f32> {
         let n = tokens.dim(0);
@@ -220,9 +247,16 @@ impl StaticPrunedViT {
     /// [`crate::PrunedViT::macs`]; ranking overhead is not charged since the
     /// rules reuse attention maps or norms the blocks already produce).
     pub fn macs(&self, inference: &StaticInference) -> u64 {
+        self.macs_for_tokens(&inference.tokens_per_block)
+    }
+
+    /// [`StaticPrunedViT::macs`] at an arbitrary per-block token schedule
+    /// (the cost-prediction entry point, typically over
+    /// [`StaticPrunedViT::planned_tokens_per_block`]).
+    pub fn macs_for_tokens(&self, tokens_per_block: &[usize]) -> u64 {
         let mut total = self.backbone.patch_embed().macs();
         for (i, block) in self.backbone.blocks().iter().enumerate() {
-            total += block.macs(inference.tokens_per_block[i]);
+            total += block.macs(tokens_per_block[i]);
         }
         total + self.backbone.config().embed_dim as u64 * self.backbone.config().num_classes as u64
     }
@@ -317,6 +351,35 @@ mod tests {
             .infer(&image)
             .logits
             .allclose(&m2.infer(&image).logits, 0.0));
+    }
+
+    #[test]
+    fn planned_tokens_match_inference_exactly() {
+        // The whole point of the static baseline as a serving backend: its
+        // cost is known before any image arrives.
+        let (b, mut rng) = backbone(5);
+        let model = StaticPrunedViT::new(
+            b,
+            vec![
+                StaticStage {
+                    block: 1,
+                    keep_ratio: 0.7,
+                },
+                StaticStage {
+                    block: 3,
+                    keep_ratio: 0.5,
+                },
+            ],
+            StaticRule::CliffAttention,
+            0,
+        );
+        let planned = model.planned_tokens_per_block();
+        for _ in 0..3 {
+            let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+            let out = model.infer(&image);
+            assert_eq!(out.tokens_per_block, planned);
+            assert_eq!(model.macs_for_tokens(&planned), model.macs(&out));
+        }
     }
 
     #[test]

@@ -19,8 +19,16 @@
 //!   **queue-idle** (no arrival for [`ServeConfig::idle_flush`]); shutdown
 //!   *drains* — every accepted request is served;
 //! * [`ServeReport`] — p50/p95/max latency, batch-size histogram,
-//!   per-policy flush counts ([`FlushCounts`]), deadline misses, and
-//!   throughput.
+//!   per-policy flush counts ([`FlushCounts`]), deadline misses,
+//!   throughput, per-SLO-class rows ([`ClassReport`]), and the latency
+//!   model's predicted-vs-measured error;
+//! * SLO-aware admission — [`Server::start_tiered`] stacks service levels
+//!   (most accurate first) behind one queue; a [`heatvit::LatencyModel`]
+//!   predicts each request's completion at admission, [`Priority::High`]
+//!   traffic is pinned to the best level and never shed, and
+//!   [`Priority::Normal`] traffic degrades down the keep-rate ladder (or
+//!   is shed, [`SubmitError::Shed`]) when predictions say its deadline
+//!   cannot be met ([`SloPolicy`]).
 //!
 //! Served logits are **bitwise identical** to `Engine::infer_batch` on the
 //! same images — batch composition never changes per-image arithmetic, and
@@ -66,6 +74,6 @@ mod report;
 mod request;
 mod server;
 
-pub use report::{FlushCounts, FlushReason, ServeReport, MAX_LATENCY_SAMPLES};
+pub use report::{ClassReport, FlushCounts, FlushReason, ServeReport, MAX_LATENCY_SAMPLES};
 pub use request::{InferRequest, InferResponse, Priority, SubmitError, Ticket};
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, SloPolicy};

@@ -1,7 +1,9 @@
 //! Serving telemetry: per-flush accounting and the aggregate
 //! [`ServeReport`] (latency percentiles, batch-size histogram, deadline
-//! misses, flush-policy counts, throughput).
+//! misses, flush-policy counts, throughput, per-SLO-class breakdowns, and
+//! predicted-vs-measured latency error).
 
+use crate::request::Priority;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -56,45 +58,118 @@ impl FlushCounts {
 /// exactly regardless.
 pub const MAX_LATENCY_SAMPLES: usize = 1 << 16;
 
+/// Bounded latency reservoir: exact up to [`MAX_LATENCY_SAMPLES`], then a
+/// deterministic even-spread decimation (see the constant's docs). The
+/// maximum survives decimation exactly.
+#[derive(Debug)]
+struct LatencySamples {
+    samples_us: Vec<u64>,
+    /// Record every `stride`-th observation (1 until the first decimation,
+    /// then doubling).
+    stride: u64,
+    /// Observations seen, driving the stride phase.
+    seen: u64,
+    /// Exact worst latency.
+    max_us: u64,
+}
+
+impl Default for LatencySamples {
+    fn default() -> Self {
+        Self {
+            samples_us: Vec::new(),
+            stride: 1,
+            seen: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencySamples {
+    fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        self.max_us = self.max_us.max(us);
+        if self.seen.is_multiple_of(self.stride) {
+            self.samples_us.push(us);
+            if self.samples_us.len() >= MAX_LATENCY_SAMPLES {
+                // Decimate: keep every other retained sample and halve the
+                // future sampling rate. Deterministic, bounded, and the
+                // kept samples stay an even spread over the whole history.
+                let mut index = 0usize;
+                self.samples_us.retain(|_| {
+                    let keep = index.is_multiple_of(2);
+                    index += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// `(p50_ms, p95_ms, max_ms)` of everything recorded.
+    fn percentiles_ms(&self) -> (f64, f64, f64) {
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        (
+            percentile_us(&sorted, 0.50) as f64 / 1e3,
+            percentile_us(&sorted, 0.95) as f64 / 1e3,
+            self.max_us as f64 / 1e3,
+        )
+    }
+}
+
+/// Per-SLO-class accumulator behind [`ClassReport`].
+#[derive(Debug, Default)]
+pub(crate) struct ClassStats {
+    latencies: LatencySamples,
+    completed: u64,
+    deadline_misses: u64,
+    sheds: u64,
+    degraded: u64,
+    /// Sum of the accuracy proxy (serving level's keep fraction) over
+    /// completed requests.
+    keep_sum: f64,
+}
+
 /// Running accumulator behind [`ServeReport`]. One per server, updated
 /// under its own lock per flushed batch (never inside the compute path;
 /// the batcher only records plain arithmetic under it).
 #[derive(Debug)]
 pub(crate) struct Stats {
-    latencies_us: Vec<u64>,
-    /// Record every `latency_stride`-th response (1 until the first
-    /// decimation, then doubling).
-    latency_stride: u64,
-    /// Responses seen, driving the stride phase.
-    latency_seen: u64,
-    /// Exact worst latency (survives decimation).
-    max_latency_us: u64,
+    latencies: LatencySamples,
     completed: u64,
     deadline_misses: u64,
     batch_sizes: BTreeMap<usize, u64>,
     flushes: FlushCounts,
     first_start: Option<Instant>,
     last_done: Option<Instant>,
+    /// Indexed by [`Priority::index`].
+    classes: [ClassStats; 2],
+    /// Requests served per service level (index 0 = most accurate).
+    level_served: Vec<u64>,
+    /// Sum of per-batch `|predicted − measured| / measured` execution-time
+    /// error over `error_batches` warmed-up batches.
+    error_sum: f64,
+    error_batches: u64,
 }
 
-impl Default for Stats {
-    fn default() -> Self {
+impl Stats {
+    pub(crate) fn new(levels: usize) -> Self {
         Self {
-            latencies_us: Vec::new(),
-            latency_stride: 1,
-            latency_seen: 0,
-            max_latency_us: 0,
+            latencies: LatencySamples::default(),
             completed: 0,
             deadline_misses: 0,
             batch_sizes: BTreeMap::new(),
             flushes: FlushCounts::default(),
             first_start: None,
             last_done: None,
+            classes: [ClassStats::default(), ClassStats::default()],
+            level_served: vec![0; levels],
+            error_sum: 0.0,
+            error_batches: 0,
         }
     }
-}
 
-impl Stats {
     pub(crate) fn record_batch(&mut self, size: usize, reason: FlushReason, done: Instant) {
         self.flushes.bump(reason);
         *self.batch_sizes.entry(size).or_insert(0) += 1;
@@ -110,40 +185,74 @@ impl Stats {
         }
     }
 
-    pub(crate) fn record_response(&mut self, latency: Duration, missed: bool) {
-        let us = latency.as_micros() as u64;
+    pub(crate) fn record_response(
+        &mut self,
+        latency: Duration,
+        missed: bool,
+        class: Priority,
+        level: usize,
+        keep: f64,
+    ) {
         self.completed += 1;
-        self.max_latency_us = self.max_latency_us.max(us);
+        self.latencies.record(latency);
         if missed {
             self.deadline_misses += 1;
         }
-        if self.latency_seen.is_multiple_of(self.latency_stride) {
-            self.latencies_us.push(us);
-            if self.latencies_us.len() >= MAX_LATENCY_SAMPLES {
-                // Decimate: keep every other retained sample and halve the
-                // future sampling rate. Deterministic, bounded, and the
-                // kept samples stay an even spread over the whole history.
-                let mut index = 0usize;
-                self.latencies_us.retain(|_| {
-                    let keep = index.is_multiple_of(2);
-                    index += 1;
-                    keep
-                });
-                self.latency_stride *= 2;
-            }
+        let c = &mut self.classes[class.index()];
+        c.completed += 1;
+        c.latencies.record(latency);
+        c.keep_sum += keep;
+        if missed {
+            c.deadline_misses += 1;
         }
-        self.latency_seen += 1;
+        if level > 0 {
+            c.degraded += 1;
+        }
+        self.level_served[level] += 1;
+    }
+
+    pub(crate) fn record_shed(&mut self, class: Priority) {
+        self.classes[class.index()].sheds += 1;
+    }
+
+    /// One warmed-up batch execution's relative prediction error
+    /// (`|predicted − measured| / measured`).
+    pub(crate) fn record_prediction_error(&mut self, predicted: Duration, measured: Duration) {
+        if measured.is_zero() {
+            return;
+        }
+        let rel = (predicted.as_secs_f64() - measured.as_secs_f64()).abs() / measured.as_secs_f64();
+        self.error_sum += rel;
+        self.error_batches += 1;
     }
 
     pub(crate) fn report(&self) -> ServeReport {
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
         let completed = self.completed;
         let window = match (self.first_start, self.last_done) {
             (Some(start), Some(done)) => done.duration_since(start),
             _ => Duration::ZERO,
         };
         let total_in_batches: u64 = self.batch_sizes.iter().map(|(s, n)| (*s as u64) * n).sum();
+        let (p50_ms, p95_ms, max_ms) = self.latencies.percentiles_ms();
+        let classes = [Priority::High, Priority::Normal].map(|class| {
+            let c = &self.classes[class.index()];
+            let (p50_ms, p95_ms, max_ms) = c.latencies.percentiles_ms();
+            ClassReport {
+                class,
+                completed: c.completed,
+                deadline_misses: c.deadline_misses,
+                sheds: c.sheds,
+                degraded: c.degraded,
+                p50_ms,
+                p95_ms,
+                max_ms,
+                mean_keep: if c.completed == 0 {
+                    0.0
+                } else {
+                    c.keep_sum / c.completed as f64
+                },
+            }
+        });
         ServeReport {
             completed,
             batches: self.flushes.total(),
@@ -155,13 +264,20 @@ impl Stats {
             } else {
                 total_in_batches as f64 / self.flushes.total() as f64
             },
-            p50_ms: percentile_us(&sorted, 0.50) as f64 / 1e3,
-            p95_ms: percentile_us(&sorted, 0.95) as f64 / 1e3,
-            max_ms: self.max_latency_us as f64 / 1e3,
+            p50_ms,
+            p95_ms,
+            max_ms,
             throughput: if window.is_zero() {
                 0.0
             } else {
                 completed as f64 / window.as_secs_f64()
+            },
+            classes,
+            level_served: self.level_served.clone(),
+            predicted_error_pct: if self.error_batches == 0 {
+                f64::NAN
+            } else {
+                100.0 * self.error_sum / self.error_batches as f64
             },
         }
     }
@@ -175,6 +291,45 @@ fn percentile_us(sorted: &[u64], q: f64) -> u64 {
     }
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-SLO-class slice of a [`ServeReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClassReport {
+    /// The SLO class this row describes.
+    pub class: Priority,
+    /// Requests of this class resolved.
+    pub completed: u64,
+    /// Responses that resolved after their deadline.
+    pub deadline_misses: u64,
+    /// Submissions refused with [`crate::SubmitError::Shed`] (admission
+    /// predicted a miss at every service level).
+    pub sheds: u64,
+    /// Requests served at a degraded level (level index > 0: a cheaper
+    /// keep-rate schedule or backend than the class's best).
+    pub degraded: u64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// Worst latency, milliseconds (exact).
+    pub max_ms: f64,
+    /// Mean accuracy proxy of the levels that served this class: the mean
+    /// fraction of tokens kept relative to dense (1.0 = full accuracy
+    /// budget; lower = degraded under load).
+    pub mean_keep: f64,
+}
+
+impl ClassReport {
+    /// Fraction of completed requests of this class that missed their
+    /// deadline.
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.completed as f64
+        }
+    }
 }
 
 /// Aggregate statistics of everything a [`crate::Server`] has served.
@@ -204,6 +359,16 @@ pub struct ServeReport {
     /// Completed requests per second over the serving window (first
     /// submission to last resolved batch).
     pub throughput: f64,
+    /// Per-SLO-class breakdown, [`Priority::High`] first.
+    pub classes: [ClassReport; 2],
+    /// Requests served per service level (index 0 = the most accurate
+    /// level; a single-backend server has one entry).
+    pub level_served: Vec<u64>,
+    /// Mean `|predicted − measured| / measured` batch execution-time error
+    /// of the server's latency model, percent, over warmed-up batches
+    /// (each level's first batch is excluded as model cold start). `NaN`
+    /// until a warmed-up batch completes.
+    pub predicted_error_pct: f64,
 }
 
 impl ServeReport {
@@ -214,6 +379,16 @@ impl ServeReport {
         } else {
             self.deadline_misses as f64 / self.completed as f64
         }
+    }
+
+    /// The [`ClassReport`] of one SLO class.
+    pub fn class(&self, class: Priority) -> &ClassReport {
+        &self.classes[if class == Priority::High { 0 } else { 1 }]
+    }
+
+    /// Total submissions refused by predictive admission across classes.
+    pub fn sheds(&self) -> u64 {
+        self.classes.iter().map(|c| c.sheds).sum()
     }
 }
 
@@ -248,12 +423,18 @@ mod tests {
 
     #[test]
     fn latency_storage_stays_bounded_under_sustained_load() {
-        let mut stats = Stats::default();
+        let mut stats = Stats::new(1);
         let total = MAX_LATENCY_SAMPLES * 4;
         for i in 0..total {
-            stats.record_response(Duration::from_micros(i as u64 + 1), false);
+            stats.record_response(
+                Duration::from_micros(i as u64 + 1),
+                false,
+                Priority::Normal,
+                0,
+                1.0,
+            );
         }
-        assert!(stats.latencies_us.len() < MAX_LATENCY_SAMPLES);
+        assert!(stats.latencies.samples_us.len() < MAX_LATENCY_SAMPLES);
         let report = stats.report();
         // Counters stay exact through decimation, including the maximum.
         assert_eq!(report.completed, total as u64);
@@ -269,14 +450,14 @@ mod tests {
 
     #[test]
     fn stats_aggregate_into_a_report() {
-        let mut stats = Stats::default();
+        let mut stats = Stats::new(2);
         let t0 = Instant::now();
         stats.record_first_submit(t0);
         stats.record_batch(2, FlushReason::MaxBatch, t0 + Duration::from_millis(10));
-        stats.record_response(Duration::from_millis(4), false);
-        stats.record_response(Duration::from_millis(8), true);
+        stats.record_response(Duration::from_millis(4), false, Priority::High, 0, 1.0);
+        stats.record_response(Duration::from_millis(8), true, Priority::Normal, 1, 0.7);
         stats.record_batch(1, FlushReason::Idle, t0 + Duration::from_millis(20));
-        stats.record_response(Duration::from_millis(2), false);
+        stats.record_response(Duration::from_millis(2), false, Priority::Normal, 0, 1.0);
         let report = stats.report();
         assert_eq!(report.completed, 3);
         assert_eq!(report.batches, 2);
@@ -287,5 +468,50 @@ mod tests {
         assert_eq!(report.p50_ms, 4.0);
         assert_eq!(report.max_ms, 8.0);
         assert!(report.throughput > 0.0);
+    }
+
+    #[test]
+    fn per_class_rows_split_correctly() {
+        let mut stats = Stats::new(2);
+        stats.record_response(Duration::from_millis(1), false, Priority::High, 0, 1.0);
+        stats.record_response(Duration::from_millis(9), true, Priority::Normal, 1, 0.6);
+        stats.record_response(Duration::from_millis(3), false, Priority::Normal, 1, 0.8);
+        stats.record_shed(Priority::Normal);
+        let report = stats.report();
+        let high = report.class(Priority::High);
+        assert_eq!(
+            (
+                high.completed,
+                high.deadline_misses,
+                high.sheds,
+                high.degraded
+            ),
+            (1, 0, 0, 0)
+        );
+        assert!((high.mean_keep - 1.0).abs() < 1e-12);
+        let normal = report.class(Priority::Normal);
+        assert_eq!(
+            (
+                normal.completed,
+                normal.deadline_misses,
+                normal.sheds,
+                normal.degraded
+            ),
+            (2, 1, 1, 2)
+        );
+        assert!((normal.mean_keep - 0.7).abs() < 1e-12);
+        assert!((normal.miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(report.sheds(), 1);
+        assert_eq!(report.level_served, vec![1, 2]);
+    }
+
+    #[test]
+    fn prediction_error_averages_over_batches() {
+        let mut stats = Stats::new(1);
+        assert!(stats.report().predicted_error_pct.is_nan());
+        stats.record_prediction_error(Duration::from_millis(11), Duration::from_millis(10));
+        stats.record_prediction_error(Duration::from_millis(9), Duration::from_millis(10));
+        let report = stats.report();
+        assert!((report.predicted_error_pct - 10.0).abs() < 1e-9);
     }
 }

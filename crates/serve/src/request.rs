@@ -7,18 +7,51 @@ use heatvit_tensor::Tensor;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Scheduling class of a request. Within one batch-formation pass the
-/// batcher drains every queued [`Priority::High`] request before any
-/// [`Priority::Normal`] one; ordering within a class stays FIFO. Priority
-/// never changes the arithmetic — per-image inference is independent of
-/// batch composition — only the queueing delay.
+/// SLO class of a request — both its scheduling priority and its service
+/// guarantee under load.
+///
+/// Within one batch-formation pass the batcher drains every queued
+/// [`Priority::High`] request before any [`Priority::Normal`] one;
+/// ordering within a class stays FIFO. Under predictive admission
+/// ([`crate::SloPolicy`]), the classes diverge further: `High` is pinned
+/// to the most accurate service level and is never shed, while `Normal`
+/// degrades to cheaper keep-rate schedules/backends when the latency model
+/// predicts a deadline miss, and is shed only when even the cheapest level
+/// cannot make the deadline. Neither class ever changes per-image
+/// arithmetic at a given level — only which level serves it and when.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Priority {
-    /// Default scheduling class.
+    /// Default class: degradable under load, shed as a last resort.
     #[default]
     Normal,
-    /// Jumps ahead of queued `Normal` requests at batch formation.
+    /// Latency-critical class: jumps the queue, keeps the most accurate
+    /// level, never shed.
     High,
+}
+
+impl Priority {
+    /// Dense index for per-class tables (`High` = 0, `Normal` = 1 — report
+    /// order).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+        }
+    }
+
+    /// Report-table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// One classification request submitted to a [`crate::Server`].
@@ -69,6 +102,15 @@ pub struct InferResponse {
     pub batch_size: usize,
     /// Why that batch was flushed.
     pub flush: FlushReason,
+    /// The request's SLO class.
+    pub class: Priority,
+    /// Service level that served it (0 = the server's most accurate level;
+    /// higher = degraded by predictive admission).
+    pub level: usize,
+    /// The latency the admission-time model predicted for this request
+    /// (queued work ahead of it plus its own service time). Compare with
+    /// `latency` to judge the model.
+    pub predicted: Duration,
 }
 
 /// The one-shot slot a batch execution resolves into; shared between the
@@ -164,6 +206,19 @@ pub enum SubmitError {
         /// The `[channels, height, width]` the served model expects.
         expected: [usize; 3],
     },
+    /// Predictive admission refused the request: the latency model
+    /// predicted a deadline miss at *every* service level, including the
+    /// cheapest ([`crate::SloPolicy::shed_normal`]; never raised for
+    /// [`Priority::High`]). Shedding at the door beats accepting work that
+    /// would miss — the client can retry with a looser deadline or another
+    /// replica.
+    Shed {
+        /// The refused request, returned untouched.
+        request: InferRequest,
+        /// The best (cheapest-level) completion the model could predict,
+        /// as a latency from submission.
+        predicted: Duration,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -175,6 +230,11 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "image shape {:?} does not match the served model's expected {expected:?}",
                 request.image.dims()
+            ),
+            SubmitError::Shed { predicted, .. } => write!(
+                f,
+                "admission predicts a deadline miss at every service level \
+                 (best predicted latency {predicted:?})"
             ),
         }
     }

@@ -1,38 +1,80 @@
 //! The [`Server`]: a bounded request queue, a dynamic batcher thread, and
-//! one shared [`Engine`] whose sharded execution core runs every formed
-//! batch.
+//! one shared [`Engine`] per service level whose sharded execution core
+//! runs every formed batch.
 //!
 //! ## Request lifecycle
 //!
-//! 1. A client calls [`Server::submit`] from any thread. The request enters
+//! 1. A client calls [`Server::submit`] from any thread. Admission consults
+//!    the server's [`LatencyModel`]: the request's predicted completion
+//!    (queued work ahead of it plus its own service time at a candidate
+//!    level) is compared against its deadline. [`Priority::High`] requests
+//!    are pinned to the most accurate level and always admitted;
+//!    [`Priority::Normal`] requests degrade down the level ladder until a
+//!    level predicts an on-time completion, and — under
+//!    [`SloPolicy::shed_normal`] — are refused with [`SubmitError::Shed`]
+//!    when even the cheapest level predicts a miss. Admitted requests enter
 //!    the bounded queue (blocking while full — the backpressure that makes
 //!    closed-loop load generation drop-free) and the client gets a
 //!    [`Ticket`] back immediately.
-//! 2. The batcher thread accumulates queued requests into a pending batch,
-//!    high-priority first, and flushes when the first of three conditions
-//!    trips: the batch is full (`max_batch`), some member's deadline is
-//!    within `deadline_slack`, or no new request has arrived for
-//!    `idle_flush`.
+//! 2. The batcher thread accumulates queued requests into per-level pending
+//!    batches, high-priority first, and flushes a level when the first of
+//!    three conditions trips: its batch is full (`max_batch`), some
+//!    member's deadline is within `deadline_slack`, or no new request has
+//!    arrived for `idle_flush`.
 //! 3. The flushed batch runs through [`Engine::infer_batch_iter`] — the
 //!    same sharded, scratch-pooled execution core the offline benchmarks
 //!    use, so served logits are bitwise identical to `Engine::infer_batch`
-//!    on the same images.
+//!    on the same images. The measured execution feeds back into the
+//!    latency model ([`LatencyModel::observe`]), so an online model
+//!    converges to this machine's real per-level service times.
 //! 4. Each request's [`Ticket`] resolves with its [`InferResponse`];
-//!    latency, batch size, flush reason, and deadline outcome land in the
-//!    server's [`ServeReport`].
+//!    latency, batch size, flush reason, serving level, and deadline
+//!    outcome land in the server's [`ServeReport`], broken out per SLO
+//!    class.
 //!
 //! Shutdown closes the queue and *drains* it: every accepted request is
 //! still served (flushes tagged [`FlushReason::Shutdown`]), then the
-//! batcher exits. Nothing is ever dropped.
+//! batcher exits. Admission can refuse, but nothing accepted is ever
+//! dropped.
 
 use crate::report::{FlushReason, ServeReport, Stats};
 use crate::request::{InferRequest, InferResponse, Priority, ResponseSlot, SubmitError, Ticket};
-use heatvit::{Engine, InferenceModel};
+use heatvit::{CostProfile, Engine, InferenceModel, LatencyModel, MeasuredEwma};
 use heatvit_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Predictive-admission policy of a [`Server`] (the SLO-aware layer; off by
+/// default so a plain server behaves like a simple bounded queue).
+#[derive(Debug, Clone, Copy)]
+pub struct SloPolicy {
+    /// Enables latency-predictive admission: level selection for Normal
+    /// requests and (optionally) shedding.
+    pub enabled: bool,
+    /// Admission headroom: a level is acceptable when predicted completion
+    /// plus `admission_slack` is within the deadline, where the prediction
+    /// is the queued work ahead plus a full `max_batch` of the level's
+    /// per-image service time. Size the slack to cover batching delay plus
+    /// prediction noise.
+    pub admission_slack: Duration,
+    /// Refuse Normal requests with [`SubmitError::Shed`] when every level
+    /// predicts a miss; with `false` they are admitted at the cheapest
+    /// level instead (best effort). High requests are never shed either
+    /// way.
+    pub shed_normal: bool,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            admission_slack: Duration::from_millis(2),
+            shed_normal: true,
+        }
+    }
+}
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +97,8 @@ pub struct ServeConfig {
     /// Worker policy of the underlying [`Engine`] (how each formed batch is
     /// sharded across threads).
     pub engine: heatvit::EngineConfig,
+    /// Predictive-admission policy (disabled by default).
+    pub slo: SloPolicy,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +110,7 @@ impl Default for ServeConfig {
             deadline_slack: Duration::from_millis(2),
             default_deadline: Duration::from_millis(50),
             engine: heatvit::EngineConfig::default(),
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -77,12 +122,29 @@ impl ServeConfig {
     }
 }
 
+/// One service level: an engine over one backend, plus the cost profile
+/// and accuracy proxy admission reasons about.
+struct Level<M: InferenceModel> {
+    engine: Engine<M>,
+    profile: CostProfile,
+    /// Accuracy proxy: the profile's mean token keep fraction vs dense.
+    keep: f64,
+}
+
 /// One queued request plus its bookkeeping.
 struct Pending {
     image: Tensor,
     deadline: Instant,
     submitted: Instant,
     slot: Arc<ResponseSlot>,
+    class: Priority,
+    /// Service level admission chose (0 = most accurate).
+    level: usize,
+    /// Admission-time predicted service cost of this request alone, µs
+    /// (what `inflight_us` was charged; refunded on completion).
+    cost_us: u64,
+    /// Admission-time predicted total latency (queue wait + service).
+    predicted: Duration,
 }
 
 /// Everything behind the queue mutex.
@@ -97,6 +159,11 @@ struct QueueState {
     /// `true` once the first submission has opened the stats window, so
     /// the per-submit hot path never touches the stats lock again.
     window_opened: bool,
+    /// Predicted service µs of every admitted-but-unresolved request — the
+    /// queue-wait estimate admission adds to a candidate's own service
+    /// time. Charged at admission, refunded when its batch resolves, so it
+    /// covers queued, pending, and currently executing work.
+    inflight_us: u64,
 }
 
 impl QueueState {
@@ -109,11 +176,21 @@ impl QueueState {
     fn pop_next(&mut self) -> Option<Pending> {
         self.high.pop_front().or_else(|| self.normal.pop_front())
     }
+
+    /// Level of the request [`QueueState::pop_next`] would return.
+    fn peek_next_level(&self) -> Option<usize> {
+        self.high
+            .front()
+            .or_else(|| self.normal.front())
+            .map(|p| p.level)
+    }
 }
 
 /// State shared between client threads and the batcher thread.
 struct Shared<M: InferenceModel> {
-    engine: Engine<M>,
+    /// Service levels, most accurate first; every server has at least one.
+    levels: Vec<Level<M>>,
+    latency: Arc<dyn LatencyModel>,
     config: ServeConfig,
     queue: Mutex<QueueState>,
     /// Signaled on every arrival and at shutdown; the batcher waits here.
@@ -123,12 +200,12 @@ struct Shared<M: InferenceModel> {
     stats: Mutex<Stats>,
 }
 
-/// A serving front-end over one model backend. See the module docs for the
-/// request lifecycle.
+/// A serving front-end over one or more model backends. See the module
+/// docs for the request lifecycle.
 ///
 /// The type parameter defaults to [`heatvit::Backend`], the type-erased
 /// handle — `Server<Backend>` is the one type a deployment needs no matter
-/// which model variant it loads.
+/// which model variants it loads.
 ///
 /// # Examples
 ///
@@ -155,18 +232,64 @@ pub struct Server<M: InferenceModel + 'static = heatvit::Backend> {
 }
 
 impl<M: InferenceModel + 'static> Server<M> {
-    /// Builds the engine (per `config.engine`) and spawns the batcher
-    /// thread.
+    /// Builds a single-level server (per `config.engine`) with an online
+    /// measured-EWMA latency model and spawns the batcher thread.
     ///
     /// # Panics
     ///
     /// Panics if `config` is invalid (zero `max_batch` or
     /// `queue_capacity`) or the batcher thread cannot be spawned.
     pub fn start(model: M, config: ServeConfig) -> Self {
+        Self::start_tiered(vec![model], config, Arc::new(MeasuredEwma::default()))
+    }
+
+    /// Builds a tiered server: one engine per model in `models`, ordered
+    /// **most accurate first** (level 0 is what High-priority traffic and
+    /// unloaded Normal traffic get; later levels are the cheaper keep-rate
+    /// schedules / backends predictive admission degrades Normal traffic
+    /// onto). `latency` predicts per-request cost at admission and is fed
+    /// every measured batch execution — pass an online model (e.g.
+    /// `heatvit::MeasuredEwma` over an `FpgaCycleModel` or MAC-proxy
+    /// prior) so predictions converge to this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty, the models disagree on input shape or
+    /// class count, `config` is invalid, or the batcher thread cannot be
+    /// spawned.
+    pub fn start_tiered(
+        models: Vec<M>,
+        config: ServeConfig,
+        latency: Arc<dyn LatencyModel>,
+    ) -> Self {
         config.validate();
-        let engine = Engine::builder(model).config(config.engine).build();
+        assert!(!models.is_empty(), "a server needs at least one backend");
+        let levels: Vec<Level<M>> = models
+            .into_iter()
+            .map(|model| {
+                let profile = model.cost_profile();
+                let keep = profile.keep_fraction();
+                Level {
+                    engine: Engine::builder(model).config(config.engine).build(),
+                    profile,
+                    keep,
+                }
+            })
+            .collect();
+        let reference = levels[0].engine.model().config();
+        for level in &levels[1..] {
+            let cfg = level.engine.model().config();
+            assert!(
+                cfg.in_channels == reference.in_channels
+                    && cfg.image_size == reference.image_size
+                    && cfg.num_classes == reference.num_classes,
+                "every service level must share input shape and class count"
+            );
+        }
+        let level_count = levels.len();
         let shared = Arc::new(Shared {
-            engine,
+            levels,
+            latency,
             config,
             queue: Mutex::new(QueueState {
                 high: VecDeque::new(),
@@ -174,10 +297,11 @@ impl<M: InferenceModel + 'static> Server<M> {
                 open: true,
                 last_arrival: None,
                 window_opened: false,
+                inflight_us: 0,
             }),
             arrived: Condvar::new(),
             space: Condvar::new(),
-            stats: Mutex::new(Stats::default()),
+            stats: Mutex::new(Stats::new(level_count)),
         });
         let batcher_shared = Arc::clone(&shared);
         let batcher = std::thread::Builder::new()
@@ -192,7 +316,8 @@ impl<M: InferenceModel + 'static> Server<M> {
 
     /// Submits a request, blocking while the bounded queue is full.
     /// Returns the [`Ticket`] that will resolve with the response, or the
-    /// request back if the server is closed.
+    /// request back if the server is closed (or, under
+    /// [`SloPolicy::shed_normal`], shed).
     pub fn submit(&self, request: InferRequest) -> Result<Ticket, SubmitError> {
         self.enqueue(request, true)
     }
@@ -212,12 +337,60 @@ impl<M: InferenceModel + 'static> Server<M> {
         ))
     }
 
+    /// Picks the service level for an admitted request and its predicted
+    /// latency `(level, service µs, total predicted)`; `Err(best)` means
+    /// every level predicts a miss (shed candidate, with the cheapest
+    /// level's prediction).
+    fn choose_level(
+        &self,
+        queue: &QueueState,
+        request: &InferRequest,
+        now: Instant,
+    ) -> Result<(usize, u64, Duration), (u64, Duration)> {
+        let shared = &*self.shared;
+        let slo = shared.config.slo;
+        let wait = Duration::from_micros(queue.inflight_us);
+        // Completion estimate per level: queued work ahead, plus a full
+        // `max_batch` of the level's per-image service time — the request
+        // may ride a batch that is executed whole before its response
+        // resolves, and the batch term is also what separates the levels
+        // (per-image differences alone are small next to queue wait, so
+        // admission would almost never find the degradation window).
+        // The inflight charge stays per-image: the backlog drains one
+        // image at a time regardless of batch shape.
+        let predict = |level: &Level<M>| {
+            let per_image = shared.latency.predict(&level.profile);
+            let svc = per_image * shared.config.max_batch as u32;
+            (per_image.as_micros() as u64, wait + svc)
+        };
+        // High is pinned to the most accurate level no matter the load;
+        // disabled admission serves everyone there too.
+        if request.priority == Priority::High || !slo.enabled {
+            let (cost, predicted) = predict(&shared.levels[0]);
+            return Ok((0, cost, predicted));
+        }
+        let mut cheapest = (0, Duration::ZERO);
+        for (i, level) in shared.levels.iter().enumerate() {
+            let (cost, predicted) = predict(level);
+            if now + predicted + slo.admission_slack <= request.deadline {
+                return Ok((i, cost, predicted));
+            }
+            cheapest = (cost, predicted);
+        }
+        if slo.shed_normal {
+            Err(cheapest)
+        } else {
+            let (cost, predicted) = cheapest;
+            Ok((shared.levels.len() - 1, cost, predicted))
+        }
+    }
+
     fn enqueue(&self, request: InferRequest, block: bool) -> Result<Ticket, SubmitError> {
         let shared = &*self.shared;
         // Shape-check before accepting: a malformed image must be refused
         // here, at the submitter, not panic later inside the batcher thread
         // (which would strand every in-flight ticket).
-        let config = shared.engine.model().config();
+        let config = shared.levels[0].engine.model().config();
         let expected = [config.in_channels, config.image_size, config.image_size];
         if request.image.dims() != expected {
             return Err(SubmitError::BadImage { request, expected });
@@ -233,17 +406,35 @@ impl<M: InferenceModel + 'static> Server<M> {
             return Err(SubmitError::Closed(request));
         }
         let now = Instant::now();
+        let (level, cost_us, predicted) = match self.choose_level(&queue, &request, now) {
+            Ok(choice) => choice,
+            Err((_, predicted)) => {
+                drop(queue);
+                let class = request.priority;
+                shared
+                    .stats
+                    .lock()
+                    .expect("serve stats poisoned")
+                    .record_shed(class);
+                return Err(SubmitError::Shed { request, predicted });
+            }
+        };
         let slot = Arc::new(ResponseSlot::default());
         let pending = Pending {
             image: request.image,
             deadline: request.deadline,
             submitted: now,
             slot: Arc::clone(&slot),
+            class: request.priority,
+            level,
+            cost_us,
+            predicted,
         };
         match request.priority {
             Priority::High => queue.high.push_back(pending),
             Priority::Normal => queue.normal.push_back(pending),
         }
+        queue.inflight_us += cost_us;
         queue.last_arrival = Some(now);
         // Open the serving window before the request becomes visible to the
         // batcher (queue lock still held; the batcher never takes the stats
@@ -284,9 +475,28 @@ impl<M: InferenceModel + 'static> Server<M> {
             .report()
     }
 
-    /// The model being served.
+    /// The most accurate (level 0) model being served.
     pub fn model(&self) -> &M {
-        self.shared.engine.model()
+        self.shared.levels[0].engine.model()
+    }
+
+    /// Number of service levels.
+    pub fn level_count(&self) -> usize {
+        self.shared.levels.len()
+    }
+
+    /// The model serving level `index` (0 = most accurate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn level_model(&self, index: usize) -> &M {
+        self.shared.levels[index].engine.model()
+    }
+
+    /// The latency model admission consults.
+    pub fn latency_model(&self) -> &Arc<dyn LatencyModel> {
+        &self.shared.latency
     }
 
     /// Closes the queue, waits for the drain to finish (every accepted
@@ -313,55 +523,74 @@ impl<M: InferenceModel + 'static> Drop for Server<M> {
     }
 }
 
-/// Moves queued requests into `pending` (scheduling order) up to
-/// `max_batch`, waking blocked submitters for every slot freed.
-fn top_up(queue: &mut QueueState, pending: &mut Vec<Pending>, max_batch: usize) -> bool {
+/// Moves queued requests into their levels' pending batches (scheduling
+/// order), stopping at the first request whose level batch is full —
+/// head-of-line order is preserved and a full batch flushes immediately
+/// anyway. Reports whether anything moved (so the batcher can wake blocked
+/// submitters).
+fn top_up(queue: &mut QueueState, pending: &mut [Vec<Pending>], max_batch: usize) -> bool {
     let mut moved = false;
-    while pending.len() < max_batch {
-        match queue.pop_next() {
-            Some(request) => {
-                pending.push(request);
-                moved = true;
-            }
-            None => break,
+    while let Some(level) = queue.peek_next_level() {
+        if pending[level].len() >= max_batch {
+            break;
         }
+        let request = queue.pop_next().expect("peeked request vanished");
+        pending[level].push(request);
+        moved = true;
     }
     moved
 }
 
-/// The batcher thread: gather → flush → resolve, until closed and drained.
+/// Index of the non-empty pending level holding the earliest deadline
+/// (flush-urgency order), if any batch is non-empty.
+fn most_urgent_level(pending: &[Vec<Pending>]) -> Option<usize> {
+    pending
+        .iter()
+        .enumerate()
+        .filter(|(_, batch)| !batch.is_empty())
+        .min_by_key(|(_, batch)| batch.iter().map(|p| p.deadline).min())
+        .map(|(i, _)| i)
+}
+
+/// The batcher thread: gather → flush one level → resolve, until closed
+/// and drained.
 fn batcher_loop<M: InferenceModel + 'static>(shared: Arc<Shared<M>>) {
     let config = shared.config;
-    let mut pending: Vec<Pending> = Vec::new();
+    let mut pending: Vec<Vec<Pending>> = (0..shared.levels.len()).map(|_| Vec::new()).collect();
+    // Levels whose first batch has fed the latency model — before that, a
+    // prediction-error sample would only measure the prior's cold start.
+    let mut warmed = vec![false; shared.levels.len()];
     loop {
-        let reason = {
+        let (level, reason) = {
             let mut queue = shared.queue.lock().expect("serve queue poisoned");
             loop {
                 if top_up(&mut queue, &mut pending, config.max_batch) {
                     shared.space.notify_all();
                 }
-                if pending.len() >= config.max_batch {
-                    break FlushReason::MaxBatch;
+                if let Some(full) = pending.iter().position(|b| b.len() >= config.max_batch) {
+                    break (full, FlushReason::MaxBatch);
                 }
+                let urgent = most_urgent_level(&pending);
                 if !queue.open {
-                    if pending.is_empty() {
-                        return; // closed and fully drained
+                    match urgent {
+                        None => return, // closed and fully drained
+                        Some(level) => break (level, FlushReason::Shutdown),
                     }
-                    break FlushReason::Shutdown;
                 }
-                if pending.is_empty() {
+                let Some(urgent) = urgent else {
                     queue = shared.arrived.wait(queue).expect("serve queue poisoned");
                     continue;
-                }
+                };
                 // A partial batch is pending: sleep until whichever flush
                 // timer trips first, unless a new arrival wakes us to top
                 // up (and possibly hit max_batch) sooner.
                 let now = Instant::now();
                 let earliest_deadline = pending
                     .iter()
+                    .flatten()
                     .map(|p| p.deadline)
                     .min()
-                    .expect("pending is non-empty");
+                    .expect("some batch is non-empty");
                 let deadline_at = earliest_deadline
                     .checked_sub(config.deadline_slack)
                     .unwrap_or(now);
@@ -372,7 +601,7 @@ fn batcher_loop<M: InferenceModel + 'static>(shared: Arc<Shared<M>>) {
                     (idle_at, FlushReason::Idle)
                 };
                 if flush_at <= now {
-                    break tentative;
+                    break (urgent, tentative);
                 }
                 let (guard, _timeout) = shared
                     .arrived
@@ -381,24 +610,47 @@ fn batcher_loop<M: InferenceModel + 'static>(shared: Arc<Shared<M>>) {
                 queue = guard;
             }
         };
-        execute_batch(&shared, &mut pending, reason);
+        execute_batch(&shared, &mut pending[level], level, reason, &mut warmed);
     }
 }
 
-/// Runs one formed batch through the engine's sharded execution core and
+/// Runs one level's formed batch through its engine's sharded execution
+/// core, feeds the measured execution back into the latency model, and
 /// resolves every member's response slot.
 fn execute_batch<M: InferenceModel>(
     shared: &Shared<M>,
     pending: &mut Vec<Pending>,
+    level_index: usize,
     reason: FlushReason,
+    warmed: &mut [bool],
 ) {
     debug_assert!(!pending.is_empty(), "flushed an empty batch");
+    let level = &shared.levels[level_index];
     let batch_size = pending.len();
     let started = Instant::now();
-    let out = shared
+    let out = level
         .engine
         .infer_batch_iter(pending.iter().map(|p| &p.image));
     let done = Instant::now();
+    let measured = done.duration_since(started);
+
+    // Judge the model on what it would have predicted for this batch, then
+    // feed the measurement back (prediction before observation, or the
+    // comparison is circular). The first batch per level only warms the
+    // model up: scoring it would measure the prior's cold start.
+    let predicted_batch = shared.latency.predict(&level.profile) * batch_size as u32;
+    let record_error = warmed[level_index];
+    warmed[level_index] = true;
+    shared.latency.observe(&level.profile, batch_size, measured);
+
+    // Refund the predicted in-flight work this batch was charged with (the
+    // queue lock is taken and released before the stats lock below — the
+    // batcher never holds both).
+    {
+        let mut queue = shared.queue.lock().expect("serve queue poisoned");
+        let refund: u64 = pending.iter().map(|p| p.cost_us).sum();
+        queue.inflight_us = queue.inflight_us.saturating_sub(refund);
+    }
 
     // Build every response (tensor copies included) before touching the
     // stats lock, and resolve the tickets after releasing it: submitters
@@ -406,7 +658,7 @@ fn execute_batch<M: InferenceModel>(
     let classes = out.logits.dims()[1];
     let predictions = out.predictions();
     let mut tokens = out.tokens_per_block.into_iter();
-    let resolved: Vec<(Arc<ResponseSlot>, InferResponse)> = pending
+    let resolved: Vec<(Arc<ResponseSlot>, InferResponse, Priority, usize)> = pending
         .drain(..)
         .enumerate()
         .map(|(i, request)| {
@@ -421,18 +673,30 @@ fn execute_batch<M: InferenceModel>(
                 deadline_missed: done > request.deadline,
                 batch_size,
                 flush: reason,
+                class: request.class,
+                level: request.level,
+                predicted: request.predicted,
             };
-            (request.slot, response)
+            (request.slot, response, request.class, request.level)
         })
         .collect();
     {
         let mut stats = shared.stats.lock().expect("serve stats poisoned");
         stats.record_batch(batch_size, reason, done);
-        for (_, response) in &resolved {
-            stats.record_response(response.latency, response.deadline_missed);
+        if record_error {
+            stats.record_prediction_error(predicted_batch, measured);
+        }
+        for (_, response, class, level_idx) in &resolved {
+            stats.record_response(
+                response.latency,
+                response.deadline_missed,
+                *class,
+                *level_idx,
+                level.keep,
+            );
         }
     }
-    for (slot, response) in resolved {
+    for (slot, response, _, _) in resolved {
         slot.fill(response);
     }
 }
@@ -444,12 +708,31 @@ mod tests {
     /// A placeholder request whose `tag` rides in the deadline offset so
     /// scheduling order is observable.
     fn pending(tag: u64) -> Pending {
+        pending_at_level(tag, 0)
+    }
+
+    fn pending_at_level(tag: u64, level: usize) -> Pending {
         let now = Instant::now();
         Pending {
             image: Tensor::zeros(&[1]),
             deadline: now + Duration::from_secs(tag),
             submitted: now,
             slot: Arc::new(ResponseSlot::default()),
+            class: Priority::Normal,
+            level,
+            cost_us: 0,
+            predicted: Duration::ZERO,
+        }
+    }
+
+    fn empty_queue() -> QueueState {
+        QueueState {
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+            open: true,
+            last_arrival: None,
+            window_opened: false,
+            inflight_us: 0,
         }
     }
 
@@ -461,13 +744,7 @@ mod tests {
 
     #[test]
     fn pop_next_prefers_high_priority_fifo_within_class() {
-        let mut queue = QueueState {
-            high: VecDeque::new(),
-            normal: VecDeque::new(),
-            open: true,
-            last_arrival: None,
-            window_opened: false,
-        };
+        let mut queue = empty_queue();
         queue.normal.push_back(pending(1));
         queue.normal.push_back(pending(2));
         queue.high.push_back(pending(10));
@@ -480,19 +757,40 @@ mod tests {
 
     #[test]
     fn top_up_respects_max_batch_and_reports_movement() {
-        let mut queue = QueueState {
-            high: VecDeque::new(),
-            normal: (0..5).map(pending).collect(),
-            open: true,
-            last_arrival: None,
-            window_opened: false,
-        };
-        let mut batch = Vec::new();
-        assert!(top_up(&mut queue, &mut batch, 3));
-        assert_eq!(batch.len(), 3);
+        let mut queue = empty_queue();
+        queue.normal = (0..5).map(pending).collect();
+        let mut pending_levels = vec![Vec::new()];
+        assert!(top_up(&mut queue, &mut pending_levels, 3));
+        assert_eq!(pending_levels[0].len(), 3);
         assert_eq!(queue.len(), 2);
         // Full batch: nothing moves, nothing reported.
-        assert!(!top_up(&mut queue, &mut batch, 3));
+        assert!(!top_up(&mut queue, &mut pending_levels, 3));
         assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn top_up_routes_requests_to_their_levels() {
+        let mut queue = empty_queue();
+        queue.normal.push_back(pending_at_level(1, 0));
+        queue.normal.push_back(pending_at_level(2, 1));
+        queue.normal.push_back(pending_at_level(3, 0));
+        let mut pending_levels = vec![Vec::new(), Vec::new()];
+        assert!(top_up(&mut queue, &mut pending_levels, 4));
+        assert_eq!(pending_levels[0].len(), 2);
+        assert_eq!(pending_levels[1].len(), 1);
+        // Head-of-line at a full level stops the drain entirely (the full
+        // batch flushes immediately anyway).
+        queue.normal.push_back(pending_at_level(4, 1));
+        queue.normal.push_back(pending_at_level(5, 0));
+        let mut capped = vec![Vec::new(), vec![pending_at_level(9, 1)]];
+        assert!(!top_up(&mut queue, &mut capped, 1));
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn most_urgent_level_picks_earliest_deadline() {
+        let batches = vec![vec![pending(30)], Vec::new(), vec![pending(40), pending(5)]];
+        assert_eq!(most_urgent_level(&batches), Some(2));
+        assert_eq!(most_urgent_level(&[Vec::new(), Vec::new()]), None);
     }
 }

@@ -1,0 +1,192 @@
+//! SLO-aware predictive admission: High pinned to the best level and never
+//! shed, Normal degrading down the level ladder and shedding only as a
+//! last resort, and the per-class report rows that prove it.
+//!
+//! A fixed (variant-keyed) latency model makes admission deterministic:
+//! the tests exercise the decision logic, not wall-clock behavior.
+
+use heatvit::{CostProfile, LatencyModel};
+use heatvit_selector::{PrunedViT, TokenSelector};
+use heatvit_serve::{InferRequest, Priority, ServeConfig, Server, SloPolicy, SubmitError};
+use heatvit_tensor::Tensor;
+use heatvit_vit::{ViTConfig, VisionTransformer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A latency model with a fixed prediction per variant name — no learning,
+/// no noise, so admission decisions are exactly reproducible.
+#[derive(Debug)]
+struct FixedLatency {
+    per_variant: HashMap<&'static str, Duration>,
+}
+
+impl LatencyModel for FixedLatency {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn predict(&self, profile: &CostProfile) -> Duration {
+        *self
+            .per_variant
+            .get(profile.variant.as_str())
+            .expect("prediction for every served variant")
+    }
+}
+
+/// Two-level ladder over one µDeiT backbone family: dense (accurate, slow
+/// per the fixed model) above adaptive-pruned (keep 0.6 at block 1:
+/// degraded accuracy proxy, fast per the fixed model).
+fn tiered_server(config: ServeConfig) -> Server {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dense = VisionTransformer::new(ViTConfig::micro(4), &mut rng);
+    let backbone = VisionTransformer::new(ViTConfig::micro(4), &mut rng);
+    let dim = backbone.config().embed_dim;
+    let heads = backbone.config().num_heads;
+    let mut pruned = PrunedViT::new(backbone);
+    pruned.insert_selector(1, TokenSelector::new(dim, heads, &mut rng));
+    pruned.set_nominal_keep(1, 0.6);
+    let latency = Arc::new(FixedLatency {
+        per_variant: [
+            ("dense", Duration::from_millis(40)),
+            ("adaptive-pruned", Duration::from_micros(1)),
+        ]
+        .into_iter()
+        .collect(),
+    });
+    Server::start_tiered(vec![dense.into(), pruned.into()], config, latency)
+}
+
+fn slo_config() -> ServeConfig {
+    ServeConfig {
+        slo: SloPolicy {
+            enabled: true,
+            admission_slack: Duration::from_millis(1),
+            shed_normal: true,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn image(seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng)
+}
+
+fn request(budget: Duration, priority: Priority) -> InferRequest {
+    InferRequest {
+        image: image(11),
+        deadline: Instant::now() + budget,
+        priority,
+    }
+}
+
+#[test]
+fn high_is_pinned_to_the_best_level_and_never_shed() {
+    let server = tiered_server(slo_config());
+    // 10 ms budget: the fixed model says level 0 needs 40 ms — a Normal
+    // request would degrade, but High stays pinned and is always admitted.
+    let ticket = server
+        .submit(request(Duration::from_millis(10), Priority::High))
+        .expect("high is never shed");
+    let response = ticket.wait();
+    assert_eq!(response.class, Priority::High);
+    assert_eq!(response.level, 0);
+    // Even a deadline that already passed cannot shed High.
+    let ticket = server
+        .submit(request(Duration::ZERO, Priority::High))
+        .expect("high is never shed");
+    assert_eq!(ticket.wait().level, 0);
+    let report = server.shutdown();
+    let high = report.class(Priority::High);
+    assert_eq!(high.completed, 2);
+    assert_eq!(high.sheds, 0);
+    assert_eq!(high.degraded, 0);
+    assert!((high.mean_keep - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn normal_degrades_to_the_level_that_makes_its_deadline() {
+    let server = tiered_server(slo_config());
+    // Level 0 predicts 40 ms against a 10 ms budget; level 1 predicts 1 µs.
+    let ticket = server
+        .submit(request(Duration::from_millis(10), Priority::Normal))
+        .expect("a cheaper level can make this deadline");
+    let response = ticket.wait();
+    assert_eq!(response.class, Priority::Normal);
+    assert_eq!(response.level, 1);
+    assert!(response.predicted > Duration::ZERO);
+    let report = server.shutdown();
+    let normal = report.class(Priority::Normal);
+    assert_eq!(normal.completed, 1);
+    assert_eq!(normal.degraded, 1);
+    assert_eq!(normal.sheds, 0);
+    // The degraded level's accuracy proxy (keep 0.6 from block 1 on) shows
+    // up in the class row.
+    assert!(normal.mean_keep < 1.0);
+    assert_eq!(report.level_served, vec![0, 1]);
+}
+
+#[test]
+fn normal_keeps_the_best_level_when_unloaded() {
+    let server = tiered_server(slo_config());
+    // A generous budget admits at level 0 even though it is the slowest.
+    let ticket = server
+        .submit(request(Duration::from_secs(10), Priority::Normal))
+        .expect("level 0 makes a generous deadline");
+    assert_eq!(ticket.wait().level, 0);
+    let report = server.shutdown();
+    assert_eq!(report.class(Priority::Normal).degraded, 0);
+}
+
+#[test]
+fn normal_is_shed_only_when_every_level_predicts_a_miss() {
+    let server = tiered_server(slo_config());
+    let err = server
+        .submit(request(Duration::ZERO, Priority::Normal))
+        .expect_err("an already-expired deadline sheds Normal");
+    match err {
+        SubmitError::Shed { request, .. } => {
+            assert_eq!(request.priority, Priority::Normal)
+        }
+        other => panic!("expected Shed, got {other}"),
+    }
+    let report = server.shutdown();
+    assert_eq!(report.class(Priority::Normal).sheds, 1);
+    assert_eq!(report.sheds(), 1);
+    assert_eq!(report.completed, 0);
+}
+
+#[test]
+fn best_effort_mode_degrades_to_the_cheapest_level_instead_of_shedding() {
+    let mut config = slo_config();
+    config.slo.shed_normal = false;
+    let server = tiered_server(config);
+    let ticket = server
+        .submit(request(Duration::ZERO, Priority::Normal))
+        .expect("best-effort mode never sheds");
+    // Served at the cheapest level; the miss is recorded, not dropped.
+    let response = ticket.wait();
+    assert_eq!(response.level, 1);
+    assert!(response.deadline_missed);
+    let report = server.shutdown();
+    assert_eq!(report.class(Priority::Normal).sheds, 0);
+    assert_eq!(report.class(Priority::Normal).completed, 1);
+}
+
+#[test]
+fn disabled_slo_admits_everything_at_the_best_level() {
+    // Default policy (disabled): the tiered server behaves like the plain
+    // single-level server — no degradation, no shedding, even for
+    // deadlines admission knows it cannot make.
+    let server = tiered_server(ServeConfig::default());
+    let ticket = server
+        .submit(request(Duration::ZERO, Priority::Normal))
+        .expect("disabled admission never refuses");
+    assert_eq!(ticket.wait().level, 0);
+    let report = server.shutdown();
+    assert_eq!(report.sheds(), 0);
+    assert_eq!(report.level_served, vec![1, 0]);
+}

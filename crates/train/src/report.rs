@@ -8,7 +8,7 @@ use std::fmt;
 /// the composed objective actually differentiated
 /// (`(1 − α)·ce + α·distill + β·sparsity`), so the composed column and the
 /// raw terms can both be tracked across epochs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TrainReport {
     /// Epoch index, starting at 0.
     pub epoch: usize,
@@ -35,6 +35,32 @@ pub struct TrainReport {
     pub mean_keep: Vec<f32>,
     /// Mean token count entering the final block on the validation set.
     pub final_tokens: f32,
+    /// Validation inference throughput (images/s) measured by an
+    /// [`heatvit::Engine::run_epoch`] pass over the epoch's model — the
+    /// live counterpart of the MAC columns, so an epoch's accuracy cost can
+    /// be read next to its measured speed. Wall-clock: excluded from
+    /// equality (see the manual `PartialEq`), 0 when not measured.
+    pub val_images_per_sec: f64,
+}
+
+/// Equality deliberately ignores `val_images_per_sec`: every other field is
+/// a deterministic function of `(config, datasets, seed)` and the
+/// determinism suite compares reports bitwise, while throughput is
+/// wall-clock and never reproducible.
+impl PartialEq for TrainReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch == other.epoch
+            && self.steps == other.steps
+            && self.lr == other.lr
+            && self.loss == other.loss
+            && self.ce == other.ce
+            && self.distill == other.distill
+            && self.sparsity == other.sparsity
+            && self.train_top1 == other.train_top1
+            && self.val_top1 == other.val_top1
+            && self.mean_keep == other.mean_keep
+            && self.final_tokens == other.final_tokens
+    }
 }
 
 impl TrainReport {
@@ -50,7 +76,7 @@ impl TrainReport {
     /// Header line matching [`TrainReport`]'s `Display` row format.
     pub fn table_header() -> String {
         format!(
-            "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>18}",
+            "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>18} {:>9}",
             "epoch",
             "lr",
             "loss",
@@ -59,7 +85,8 @@ impl TrainReport {
             "sparsity",
             "train-top1",
             "val-top1",
-            "keep-rate"
+            "keep-rate",
+            "val-img/s"
         )
     }
 }
@@ -77,7 +104,7 @@ impl fmt::Display for TrainReport {
         };
         write!(
             f,
-            "{:>5} {:>9.5} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.1}% {:>8.1}% {:>18}",
+            "{:>5} {:>9.5} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.1}% {:>8.1}% {:>18} {:>9.1}",
             self.epoch,
             self.lr,
             self.loss,
@@ -86,7 +113,8 @@ impl fmt::Display for TrainReport {
             self.sparsity,
             self.train_top1 * 100.0,
             self.val_top1 * 100.0,
-            keeps
+            keeps,
+            self.val_images_per_sec
         )
     }
 }
@@ -160,7 +188,18 @@ mod tests {
             val_top1: 0.5,
             mean_keep: keeps,
             final_tokens: 12.0,
+            val_images_per_sec: 100.0,
         }
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_throughput() {
+        let a = report(0, 1.0, vec![0.7]);
+        let mut b = a.clone();
+        b.val_images_per_sec = 999.0;
+        assert_eq!(a, b);
+        b.loss = 2.0;
+        assert_ne!(a, b);
     }
 
     #[test]

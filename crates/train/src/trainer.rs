@@ -4,6 +4,7 @@
 use crate::config::TrainConfig;
 use crate::loss::{distillation_targets, LatencySparsityLoss};
 use crate::report::{TrainReport, TrainRun};
+use heatvit::{Engine, InferenceModel};
 use heatvit_data::augment::random_augment;
 use heatvit_data::{Loader, SyntheticDataset};
 use heatvit_nn::optim::{AdamW, CosineSchedule, Optimizer};
@@ -283,6 +284,7 @@ impl Trainer {
             val_top1: correct as f32 / val.len().max(1) as f32,
             mean_keep: keep_sums.iter().map(|&s| (s / n_val) as f32).collect(),
             final_tokens: (final_tokens / n_val) as f32,
+            val_images_per_sec: val_throughput(model, val, self.config.batch_size),
         }
     }
 
@@ -386,7 +388,20 @@ fn report_epoch_dense(
         val_top1: correct as f32 / val.len().max(1) as f32,
         mean_keep: Vec::new(),
         final_tokens: model.config().num_tokens() as f32,
+        val_images_per_sec: val_throughput(model, val, 8),
     }
+}
+
+/// Measured validation throughput: one sharded [`Engine::run_epoch`] pass
+/// over the borrowed epoch model — wall-clock only, never part of report
+/// equality (the engine's sharding is bitwise-identical to the sequential
+/// path, so the extra pass cannot perturb any deterministic column).
+fn val_throughput<M: InferenceModel>(model: &M, val: &SyntheticDataset, batch_size: usize) -> f64 {
+    let loader = Loader::new(val, batch_size, false, 0);
+    Engine::builder(model)
+        .build()
+        .run_epoch(&loader, 0)
+        .images_per_sec
 }
 
 #[cfg(test)]
@@ -458,6 +473,8 @@ mod tests {
             assert_eq!(b.data(), a.value().data());
         }
         assert_eq!(run.last().mean_keep.len(), 1);
+        // The measured validation pass always runs: throughput is live.
+        assert!(run.reports.iter().all(|r| r.val_images_per_sec > 0.0));
     }
 
     #[test]

@@ -49,6 +49,108 @@ impl BlockLayer {
     }
 }
 
+/// Geometry of one GEMM-shaped layer: `reps` independent products of an
+/// `m × k` matrix with a `k × n` matrix.
+///
+/// This is the shape a tiled GEMM engine schedules (paper Fig. 8): the
+/// attention layers run once per head (`reps = num_heads`), the projections
+/// once per block. `reps · m · k · n` equals the corresponding
+/// [`BlockComplexity`] MAC entry exactly, so a cycle model costed from these
+/// shapes and the MAC model stay consistent by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Independent repetitions of the product (per-head layers repeat).
+    pub reps: u64,
+    /// Output rows.
+    pub m: u64,
+    /// Reduction depth.
+    pub k: u64,
+    /// Output columns.
+    pub n: u64,
+}
+
+impl GemmShape {
+    /// Total MACs of all `reps` products.
+    pub fn macs(&self) -> u64 {
+        self.reps * self.m * self.k * self.n
+    }
+}
+
+impl BlockLayer {
+    /// The GEMM geometry of this layer in a block processing `tokens`
+    /// tokens (see [`GemmShape`]; `reps · m · k · n` matches
+    /// [`BlockComplexity::layer`] exactly).
+    pub fn gemm_shape(&self, config: &ViTConfig, tokens: usize) -> GemmShape {
+        let n = tokens as u64;
+        let dch = config.embed_dim as u64;
+        let h = config.num_heads as u64;
+        let dattn = config.head_dim() as u64;
+        let hidden = config.ffn_hidden() as u64;
+        match self {
+            // Three projections (Q, K, V), each N×D_ch · D_ch×(h·D_attn).
+            BlockLayer::LinearTransformation => GemmShape {
+                reps: 3,
+                m: n,
+                k: dch,
+                n: h * dattn,
+            },
+            // Per head: N×D_attn · D_attn×N.
+            BlockLayer::QueryKey => GemmShape {
+                reps: h,
+                m: n,
+                k: dattn,
+                n,
+            },
+            // Per head: N×N · N×D_attn.
+            BlockLayer::ScoreValue => GemmShape {
+                reps: h,
+                m: n,
+                k: n,
+                n: dattn,
+            },
+            BlockLayer::Projection => GemmShape {
+                reps: 1,
+                m: n,
+                k: h * dattn,
+                n: dch,
+            },
+            BlockLayer::FfnExpand => GemmShape {
+                reps: 1,
+                m: n,
+                k: dch,
+                n: hidden,
+            },
+            BlockLayer::FfnReduce => GemmShape {
+                reps: 1,
+                m: n,
+                k: hidden,
+                n: dch,
+            },
+        }
+    }
+}
+
+/// The patch-embedding projection as a GEMM
+/// (`num_patches × patch_dim · patch_dim × embed_dim`).
+pub fn patch_embed_gemm(config: &ViTConfig) -> GemmShape {
+    GemmShape {
+        reps: 1,
+        m: config.num_patches() as u64,
+        k: config.patch_dim() as u64,
+        n: config.embed_dim as u64,
+    }
+}
+
+/// The classification head as a GEMM (`1 × embed_dim · embed_dim × classes`).
+pub fn head_gemm(config: &ViTConfig) -> GemmShape {
+    GemmShape {
+        reps: 1,
+        m: 1,
+        k: config.embed_dim as u64,
+        n: config.num_classes as u64,
+    }
+}
+
 /// Per-layer MAC counts of one encoder block with `n` tokens.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockComplexity {
@@ -226,6 +328,26 @@ mod tests {
                 "{}: model says {g:.3} GMACs, paper says {expect}",
                 cfg.name
             );
+        }
+    }
+
+    #[test]
+    fn gemm_shapes_reproduce_layer_macs_exactly() {
+        for cfg in ViTConfig::paper_backbones() {
+            for n in [50, cfg.num_tokens()] {
+                let b = BlockComplexity::new(&cfg, n);
+                for layer in BlockLayer::ALL {
+                    assert_eq!(
+                        layer.gemm_shape(&cfg, n).macs(),
+                        b.layer(layer),
+                        "{} at N={n}: GEMM geometry diverged from the MAC model",
+                        layer.label()
+                    );
+                }
+            }
+            let dense = ModelComplexity::dense(&cfg);
+            assert_eq!(patch_embed_gemm(&cfg).macs(), dense.patch_embed_macs);
+            assert_eq!(head_gemm(&cfg).macs(), dense.head_macs);
         }
     }
 
