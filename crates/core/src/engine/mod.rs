@@ -125,6 +125,7 @@ impl Default for EngineConfig {
 pub struct EngineBuilder<M: InferenceModel> {
     model: M,
     config: EngineConfig,
+    retention: Option<usize>,
 }
 
 impl<M: InferenceModel> EngineBuilder<M> {
@@ -133,6 +134,7 @@ impl<M: InferenceModel> EngineBuilder<M> {
         Self {
             model,
             config: EngineConfig::default(),
+            retention: None,
         }
     }
 
@@ -159,6 +161,23 @@ impl<M: InferenceModel> EngineBuilder<M> {
         self
     }
 
+    /// Keeps up to `scratches` warm workspaces in the pool instead of the
+    /// default (the resolved worker count). Useful when several callers
+    /// share one engine concurrently — e.g. N serving lanes batching into
+    /// the same backend — so each caller's checkout finds a warm scratch
+    /// instead of allocating. Values below the worker count are raised to
+    /// it at build time (retaining fewer than one scratch per worker would
+    /// guarantee churn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratches == 0`.
+    pub fn scratch_retention(mut self, scratches: usize) -> Self {
+        assert!(scratches > 0, "scratch retention must be positive");
+        self.retention = Some(scratches);
+        self
+    }
+
     /// Builds the engine, resolving [`ThreadCount::Auto`] against this
     /// machine.
     ///
@@ -171,6 +190,7 @@ impl<M: InferenceModel> EngineBuilder<M> {
             model: self.model,
             config: self.config,
             threads,
+            retention: self.retention,
             pool: ScratchPool::default(),
         }
     }
@@ -222,7 +242,11 @@ pub struct Engine<M: InferenceModel> {
     config: EngineConfig,
     /// `config.threads` resolved at build time.
     threads: usize,
-    /// Warm scratch workspaces, checked out per batch (`threads` retained).
+    /// Explicit warm-pool cap ([`EngineBuilder::scratch_retention`]);
+    /// `None` tracks the worker count.
+    retention: Option<usize>,
+    /// Warm scratch workspaces, checked out per batch
+    /// ([`Engine::scratch_retention`] retained).
     pool: ScratchPool,
 }
 
@@ -268,6 +292,13 @@ impl<M: InferenceModel> Engine<M> {
         self.threads
     }
 
+    /// How many warm scratch workspaces the pool retains between batches:
+    /// the explicit [`EngineBuilder::scratch_retention`] cap (never below
+    /// the worker count), or the worker count itself by default.
+    pub fn scratch_retention(&self) -> usize {
+        self.retention.map_or(self.threads, |r| r.max(self.threads))
+    }
+
     /// Reconfigures the worker count in place. Warm scratches beyond the
     /// new retention cap are released lazily at the next check-in.
     ///
@@ -298,7 +329,7 @@ impl<M: InferenceModel> Engine<M> {
     pub fn infer_one(&self, image: &Tensor) -> ModelOutput {
         let mut scratches = self.pool.checkout(1);
         let out = self.model.infer_one(image, &mut scratches[0]);
-        self.pool.checkin(scratches, self.threads);
+        self.pool.checkin(scratches, self.scratch_retention());
         out
     }
 
@@ -357,7 +388,7 @@ impl<M: InferenceModel> Engine<M> {
                 &mut macs,
             );
         }
-        self.pool.checkin(scratches, self.threads);
+        self.pool.checkin(scratches, self.scratch_retention());
         BatchOutput {
             logits: Tensor::from_vec(logits_data, &[batch, classes]),
             tokens_per_block,
@@ -467,5 +498,44 @@ mod tests {
     #[should_panic(expected = "thread count must be positive")]
     fn zero_thread_config_panics_at_construction() {
         EngineConfig::with_threads(0);
+    }
+
+    #[test]
+    fn scratch_retention_defaults_to_threads_and_never_drops_below() {
+        use heatvit_vit::{ViTConfig, VisionTransformer};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
+        let engine = Engine::builder(model).threads(3).build();
+        assert_eq!(engine.scratch_retention(), 3);
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
+        // An explicit cap above the worker count is honored (the lane-shared
+        // engine case: retention = workers × lanes)...
+        let engine = Engine::builder(model)
+            .threads(2)
+            .scratch_retention(8)
+            .build();
+        assert_eq!(engine.scratch_retention(), 8);
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
+        // ...and a cap below it is raised to one scratch per worker.
+        let engine = Engine::builder(model)
+            .threads(4)
+            .scratch_retention(1)
+            .build();
+        assert_eq!(engine.scratch_retention(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch retention must be positive")]
+    fn zero_scratch_retention_panics() {
+        use heatvit_vit::{ViTConfig, VisionTransformer};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
+        let _ = Engine::builder(model).scratch_retention(0);
     }
 }

@@ -17,7 +17,7 @@
 //!   average per backend variant.
 
 use heatvit_vit::ViTConfig;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -174,21 +174,43 @@ impl LatencyModel for MacProxyModel {
     }
 }
 
+/// Per-variant online state of a [`MeasuredEwma`]: the overall per-image
+/// EWMA (every observation regardless of batch size) plus one EWMA per
+/// observed batch size, because per-image cost is *not* batch-independent —
+/// batch formation, scratch checkout, and shard fan-out amortize over the
+/// batch, so a size-1 execution costs measurably more per image than a
+/// size-8 one.
+#[derive(Debug)]
+struct VariantEwma {
+    /// Per-image seconds over all observations (what
+    /// [`LatencyModel::predict`] reports).
+    overall: f64,
+    /// Per-image seconds keyed by observed batch size (what
+    /// [`LatencyModel::predict_batch`] interpolates from, nearest key).
+    buckets: BTreeMap<usize, f64>,
+}
+
 /// Online measured-latency model: starts from a prior [`LatencyModel`] and
 /// converges to this machine's wall-clock, one exponentially weighted
-/// moving average of per-image service time per backend variant.
+/// moving average of per-image service time per backend variant — plus one
+/// EWMA per `(variant, batch size)` bucket, so batch-shape cost (formation,
+/// scratch checkout, shard fan-out) is captured instead of smeared into a
+/// single rate.
 ///
 /// Until a variant has been observed, [`predict`](LatencyModel::predict)
 /// delegates to the prior; after the first observation the EWMA takes over
 /// entirely (the prior's role is cold-start, not fusion). `observe` divides
 /// the measured batch wall-clock by the batch size, so batch executions and
-/// single-image executions feed the same estimate.
+/// single-image executions feed the same overall estimate; each observation
+/// also lands in its batch-size bucket, and
+/// [`predict_batch`](LatencyModel::predict_batch) answers from the bucket
+/// nearest the requested size.
 pub struct MeasuredEwma {
     prior: Box<dyn LatencyModel>,
     /// EWMA smoothing factor in `(0, 1]`: weight of the newest sample.
     alpha: f64,
-    /// Per-variant EWMA of per-image service seconds.
-    state: Mutex<HashMap<String, f64>>,
+    /// Per-variant EWMAs of per-image service seconds.
+    state: Mutex<HashMap<String, VariantEwma>>,
 }
 
 impl std::fmt::Debug for MeasuredEwma {
@@ -220,13 +242,40 @@ impl MeasuredEwma {
     }
 
     /// The observed per-image EWMA for a variant, if any execution of it
-    /// has been fed back yet.
+    /// has been fed back yet (the overall estimate, across batch sizes).
     pub fn observed(&self, variant: &str) -> Option<Duration> {
         self.state
             .lock()
             .expect("ewma state poisoned")
             .get(variant)
+            .map(|v| Duration::from_secs_f64(v.overall))
+    }
+
+    /// The observed per-image EWMA of one exact `(variant, batch size)`
+    /// bucket, if an execution of that size has been fed back yet.
+    pub fn observed_batch(&self, variant: &str, batch: usize) -> Option<Duration> {
+        self.state
+            .lock()
+            .expect("ewma state poisoned")
+            .get(variant)
+            .and_then(|v| v.buckets.get(&batch))
             .map(|&s| Duration::from_secs_f64(s))
+    }
+
+    /// Per-image seconds from the bucket whose key is nearest `batch`
+    /// (ties prefer the larger bucket — closer to asymptotic cost).
+    fn nearest_bucket(buckets: &BTreeMap<usize, f64>, batch: usize) -> Option<f64> {
+        let below = buckets.range(..=batch).next_back();
+        let above = buckets.range(batch..).next();
+        match (below, above) {
+            (Some((&lo, &lo_secs)), Some((&hi, &hi_secs))) => Some(if batch - lo < hi - batch {
+                lo_secs
+            } else {
+                hi_secs
+            }),
+            (Some((_, &secs)), None) | (None, Some((_, &secs))) => Some(secs),
+            (None, None) => None,
+        }
     }
 }
 
@@ -247,7 +296,7 @@ impl LatencyModel for MeasuredEwma {
     fn predict(&self, profile: &CostProfile) -> Duration {
         let state = self.state.lock().expect("ewma state poisoned");
         match state.get(&profile.variant) {
-            Some(&secs) => Duration::from_secs_f64(secs),
+            Some(v) => Duration::from_secs_f64(v.overall),
             None => {
                 drop(state);
                 self.prior.predict(profile)
@@ -261,10 +310,37 @@ impl LatencyModel for MeasuredEwma {
         }
         let sample = measured.as_secs_f64() / images as f64;
         let mut state = self.state.lock().expect("ewma state poisoned");
-        state
+        let variant = state
             .entry(profile.variant.clone())
+            .or_insert_with(|| VariantEwma {
+                overall: sample,
+                buckets: BTreeMap::new(),
+            });
+        variant.overall += self.alpha * (sample - variant.overall);
+        variant
+            .buckets
+            .entry(images)
             .and_modify(|s| *s += self.alpha * (sample - *s))
             .or_insert(sample);
+    }
+
+    /// Batch prediction from the nearest observed `(variant, batch size)`
+    /// bucket: per-image bucket seconds × batch. The bucket observations
+    /// were measured on the executing engine's real substrate (its thread
+    /// sharding included), so the `threads` argument only matters for the
+    /// prior fallback on unobserved variants.
+    fn predict_batch(&self, profile: &CostProfile, batch: usize, threads: usize) -> Duration {
+        let state = self.state.lock().expect("ewma state poisoned");
+        match state
+            .get(&profile.variant)
+            .and_then(|v| Self::nearest_bucket(&v.buckets, batch))
+        {
+            Some(per_image) => Duration::from_secs_f64(per_image * batch.max(1) as f64),
+            None => {
+                drop(state);
+                self.prior.predict_batch(profile, batch, threads)
+            }
+        }
     }
 }
 
@@ -336,6 +412,60 @@ mod tests {
 
         // Other variants still fall back to the prior.
         assert_eq!(model.predict(&profile("other", 1_000_000)), prior);
+    }
+
+    #[test]
+    fn ewma_buckets_per_batch_size_and_answers_from_the_nearest() {
+        let model = MeasuredEwma::new(MacProxyModel::default(), 0.5);
+        let p = profile("dense", 1_000_000);
+        // Unobserved: batch predictions come from the prior's sharding
+        // model.
+        let prior = MacProxyModel::default();
+        assert_eq!(model.predict_batch(&p, 8, 2), prior.predict_batch(&p, 8, 2));
+
+        // A size-1 execution costs 4 ms/image, a size-8 one 1 ms/image —
+        // the batch-formation overhead this model exists to capture.
+        model.observe(&p, 1, Duration::from_millis(4));
+        model.observe(&p, 8, Duration::from_millis(8));
+        assert_eq!(
+            model.observed_batch("dense", 1),
+            Some(Duration::from_millis(4))
+        );
+        assert_eq!(
+            model.observed_batch("dense", 8),
+            Some(Duration::from_millis(1))
+        );
+        assert_eq!(model.observed_batch("dense", 4), None);
+
+        // Exact buckets answer exactly; in-between sizes use the nearest
+        // bucket's per-image rate (ties prefer the larger bucket).
+        assert_eq!(model.predict_batch(&p, 1, 1), Duration::from_millis(4));
+        assert_eq!(model.predict_batch(&p, 8, 1), Duration::from_millis(8));
+        assert_eq!(model.predict_batch(&p, 2, 1), Duration::from_millis(8)); // bucket 1
+        assert_eq!(model.predict_batch(&p, 6, 1), Duration::from_millis(6)); // bucket 8
+        assert_eq!(model.predict_batch(&p, 32, 1), Duration::from_millis(32)); // bucket 8
+
+        // Bucket updates are EWMAs too, independent per size.
+        model.observe(&p, 8, Duration::from_millis(24)); // 3 ms/img sample
+        assert_eq!(
+            model.observed_batch("dense", 8),
+            Some(Duration::from_millis(2))
+        );
+        assert_eq!(
+            model.observed_batch("dense", 1),
+            Some(Duration::from_millis(4))
+        );
+    }
+
+    #[test]
+    fn ewma_bucket_ties_prefer_the_larger_batch() {
+        let model = MeasuredEwma::new(MacProxyModel::default(), 0.5);
+        let p = profile("dense", 1_000_000);
+        model.observe(&p, 2, Duration::from_millis(8)); // 4 ms/img
+        model.observe(&p, 4, Duration::from_millis(4)); // 1 ms/img
+
+        // Batch 3 is equidistant from buckets 2 and 4: the larger wins.
+        assert_eq!(model.predict_batch(&p, 3, 1), Duration::from_millis(3));
     }
 
     #[test]

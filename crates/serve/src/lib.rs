@@ -9,19 +9,26 @@
 //! deadlines and priorities, served by dynamic batching over the batched
 //! [`heatvit::Engine`]:
 //!
-//! * [`Server`] — owns the engine and one batcher thread; clients on any
-//!   thread [`Server::submit`] an [`InferRequest`] into a bounded queue
-//!   (backpressure, never drops) and get a [`Ticket`] that resolves to an
-//!   [`InferResponse`];
-//! * dynamic batching — the batcher flushes a pending batch on whichever
+//! * [`Server`] — owns the shared per-level engines and [`LaneCount`]
+//!   batcher/executor lane threads; clients on any thread
+//!   [`Server::submit`] an [`InferRequest`] into the bounded queue of its
+//!   level's home lane (backpressure, never drops) and get a [`Ticket`]
+//!   that resolves to an [`InferResponse`];
+//! * dynamic batching — each lane flushes a pending batch on whichever
 //!   trips first: **max-batch** (the batch filled), **deadline proximity**
 //!   (a member's deadline is within [`ServeConfig::deadline_slack`]), or
 //!   **queue-idle** (no arrival for [`ServeConfig::idle_flush`]); shutdown
 //!   *drains* — every accepted request is served;
+//! * multi-lane scale-out — [`LaneAssignment`] homes each service level on
+//!   a lane (int8 and float traffic batch independently instead of
+//!   serializing on one batcher), and idle lanes *steal* surplus backlog
+//!   from the deepest lane ([`StealPolicy`], flushes tagged
+//!   [`FlushReason::Steal`]);
 //! * [`ServeReport`] — p50/p95/max latency, batch-size histogram,
 //!   per-policy flush counts ([`FlushCounts`]), deadline misses,
-//!   throughput, per-SLO-class rows ([`ClassReport`]), and the latency
-//!   model's predicted-vs-measured error;
+//!   throughput, per-SLO-class rows ([`ClassReport`]), per-lane
+//!   served/stolen counts and queue-depth high-water marks, and the
+//!   latency model's predicted-vs-measured error;
 //! * SLO-aware admission — [`Server::start_tiered`] stacks service levels
 //!   (most accurate first) behind one queue; a [`heatvit::LatencyModel`]
 //!   predicts each request's completion at admission, [`Priority::High`]
@@ -76,4 +83,6 @@ mod server;
 
 pub use report::{ClassReport, FlushCounts, FlushReason, ServeReport, MAX_LATENCY_SAMPLES};
 pub use request::{InferRequest, InferResponse, Priority, SubmitError, Ticket};
-pub use server::{ServeConfig, Server, SloPolicy};
+pub use server::{
+    LaneAssignment, LaneCount, ServeConfig, Server, SloPolicy, StealPolicy, MAX_AUTO_LANES,
+};

@@ -1,13 +1,13 @@
 //! Serving telemetry: per-flush accounting and the aggregate
 //! [`ServeReport`] (latency percentiles, batch-size histogram, deadline
-//! misses, flush-policy counts, throughput, per-SLO-class breakdowns, and
-//! predicted-vs-measured latency error).
+//! misses, flush-policy counts, throughput, per-SLO-class and per-lane
+//! breakdowns, and predicted-vs-measured latency error).
 
 use crate::request::Priority;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-/// Why the dynamic batcher flushed a pending batch into the engine.
+/// Why a lane flushed a pending batch into the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlushReason {
     /// The batch reached [`crate::ServeConfig::max_batch`] requests.
@@ -19,6 +19,9 @@ pub enum FlushReason {
     Idle,
     /// The server is draining at shutdown (no request is dropped).
     Shutdown,
+    /// An idle lane stole this batch off a backlogged lane's queue
+    /// ([`crate::StealPolicy`]).
+    Steal,
 }
 
 /// Flush counts per [`FlushReason`].
@@ -32,6 +35,8 @@ pub struct FlushCounts {
     pub idle: u64,
     /// Batches flushed by the shutdown drain.
     pub shutdown: u64,
+    /// Batches executed by a lane that stole them from another lane.
+    pub steal: u64,
 }
 
 impl FlushCounts {
@@ -41,12 +46,13 @@ impl FlushCounts {
             FlushReason::Deadline => self.deadline += 1,
             FlushReason::Idle => self.idle += 1,
             FlushReason::Shutdown => self.shutdown += 1,
+            FlushReason::Steal => self.steal += 1,
         }
     }
 
     /// Total batches flushed.
     pub fn total(&self) -> u64 {
-        self.max_batch + self.deadline + self.idle + self.shutdown
+        self.max_batch + self.deadline + self.idle + self.shutdown + self.steal
     }
 }
 
@@ -147,6 +153,10 @@ pub(crate) struct Stats {
     classes: [ClassStats; 2],
     /// Requests served per service level (index 0 = most accurate).
     level_served: Vec<u64>,
+    /// Requests served per executing lane.
+    lane_served: Vec<u64>,
+    /// Requests each lane executed out of batches it stole.
+    lane_steals: Vec<u64>,
     /// Sum of per-batch `|predicted − measured| / measured` execution-time
     /// error over `error_batches` warmed-up batches.
     error_sum: f64,
@@ -154,7 +164,7 @@ pub(crate) struct Stats {
 }
 
 impl Stats {
-    pub(crate) fn new(levels: usize) -> Self {
+    pub(crate) fn new(levels: usize, lanes: usize) -> Self {
         Self {
             latencies: LatencySamples::default(),
             completed: 0,
@@ -165,14 +175,25 @@ impl Stats {
             last_done: None,
             classes: [ClassStats::default(), ClassStats::default()],
             level_served: vec![0; levels],
+            lane_served: vec![0; lanes],
+            lane_steals: vec![0; lanes],
             error_sum: 0.0,
             error_batches: 0,
         }
     }
 
-    pub(crate) fn record_batch(&mut self, size: usize, reason: FlushReason, done: Instant) {
+    pub(crate) fn record_batch(
+        &mut self,
+        size: usize,
+        reason: FlushReason,
+        done: Instant,
+        lane: usize,
+    ) {
         self.flushes.bump(reason);
         *self.batch_sizes.entry(size).or_insert(0) += 1;
+        if reason == FlushReason::Steal {
+            self.lane_steals[lane] += size as u64;
+        }
         if self.first_start.is_none() {
             self.first_start = Some(done);
         }
@@ -192,6 +213,7 @@ impl Stats {
         class: Priority,
         level: usize,
         keep: f64,
+        lane: usize,
     ) {
         self.completed += 1;
         self.latencies.record(latency);
@@ -209,6 +231,7 @@ impl Stats {
             c.degraded += 1;
         }
         self.level_served[level] += 1;
+        self.lane_served[lane] += 1;
     }
 
     pub(crate) fn record_shed(&mut self, class: Priority) {
@@ -274,6 +297,11 @@ impl Stats {
             },
             classes,
             level_served: self.level_served.clone(),
+            lane_served: self.lane_served.clone(),
+            lane_steals: self.lane_steals.clone(),
+            // The server injects the real high-water marks (they live in
+            // per-lane atomics, not under the stats lock).
+            lane_queue_hwm: vec![0; self.lane_served.len()],
             predicted_error_pct: if self.error_batches == 0 {
                 f64::NAN
             } else {
@@ -364,6 +392,15 @@ pub struct ServeReport {
     /// Requests served per service level (index 0 = the most accurate
     /// level; a single-backend server has one entry).
     pub level_served: Vec<u64>,
+    /// Requests served per executing lane (stolen batches count for the
+    /// thief — this is who did the work, `level_served` is what model ran).
+    pub lane_served: Vec<u64>,
+    /// Requests each lane executed out of batches it stole from another
+    /// lane's queue (a subset of `lane_served`).
+    pub lane_steals: Vec<u64>,
+    /// Highest queue depth each lane ever reached (its backlog high-water
+    /// mark against [`crate::ServeConfig::queue_capacity`]).
+    pub lane_queue_hwm: Vec<u64>,
     /// Mean `|predicted − measured| / measured` batch execution-time error
     /// of the server's latency model, percent, over warmed-up batches
     /// (each level's first batch is excluded as model cold start). `NaN`
@@ -389,6 +426,16 @@ impl ServeReport {
     /// Total submissions refused by predictive admission across classes.
     pub fn sheds(&self) -> u64 {
         self.classes.iter().map(|c| c.sheds).sum()
+    }
+
+    /// Number of batcher/executor lanes this report covers.
+    pub fn lanes(&self) -> usize {
+        self.lane_served.len()
+    }
+
+    /// Total requests served out of stolen batches, across lanes.
+    pub fn stolen(&self) -> u64 {
+        self.lane_steals.iter().sum()
     }
 }
 
@@ -416,14 +463,16 @@ mod tests {
         counts.bump(FlushReason::Deadline);
         counts.bump(FlushReason::Idle);
         counts.bump(FlushReason::Shutdown);
+        counts.bump(FlushReason::Steal);
         assert_eq!(counts.max_batch, 1);
         assert_eq!(counts.deadline, 2);
-        assert_eq!(counts.total(), 5);
+        assert_eq!(counts.steal, 1);
+        assert_eq!(counts.total(), 6);
     }
 
     #[test]
     fn latency_storage_stays_bounded_under_sustained_load() {
-        let mut stats = Stats::new(1);
+        let mut stats = Stats::new(1, 1);
         let total = MAX_LATENCY_SAMPLES * 4;
         for i in 0..total {
             stats.record_response(
@@ -432,6 +481,7 @@ mod tests {
                 Priority::Normal,
                 0,
                 1.0,
+                0,
             );
         }
         assert!(stats.latencies.samples_us.len() < MAX_LATENCY_SAMPLES);
@@ -450,14 +500,14 @@ mod tests {
 
     #[test]
     fn stats_aggregate_into_a_report() {
-        let mut stats = Stats::new(2);
+        let mut stats = Stats::new(2, 1);
         let t0 = Instant::now();
         stats.record_first_submit(t0);
-        stats.record_batch(2, FlushReason::MaxBatch, t0 + Duration::from_millis(10));
-        stats.record_response(Duration::from_millis(4), false, Priority::High, 0, 1.0);
-        stats.record_response(Duration::from_millis(8), true, Priority::Normal, 1, 0.7);
-        stats.record_batch(1, FlushReason::Idle, t0 + Duration::from_millis(20));
-        stats.record_response(Duration::from_millis(2), false, Priority::Normal, 0, 1.0);
+        stats.record_batch(2, FlushReason::MaxBatch, t0 + Duration::from_millis(10), 0);
+        stats.record_response(Duration::from_millis(4), false, Priority::High, 0, 1.0, 0);
+        stats.record_response(Duration::from_millis(8), true, Priority::Normal, 1, 0.7, 0);
+        stats.record_batch(1, FlushReason::Idle, t0 + Duration::from_millis(20), 0);
+        stats.record_response(Duration::from_millis(2), false, Priority::Normal, 0, 1.0, 0);
         let report = stats.report();
         assert_eq!(report.completed, 3);
         assert_eq!(report.batches, 2);
@@ -472,10 +522,10 @@ mod tests {
 
     #[test]
     fn per_class_rows_split_correctly() {
-        let mut stats = Stats::new(2);
-        stats.record_response(Duration::from_millis(1), false, Priority::High, 0, 1.0);
-        stats.record_response(Duration::from_millis(9), true, Priority::Normal, 1, 0.6);
-        stats.record_response(Duration::from_millis(3), false, Priority::Normal, 1, 0.8);
+        let mut stats = Stats::new(2, 1);
+        stats.record_response(Duration::from_millis(1), false, Priority::High, 0, 1.0, 0);
+        stats.record_response(Duration::from_millis(9), true, Priority::Normal, 1, 0.6, 0);
+        stats.record_response(Duration::from_millis(3), false, Priority::Normal, 1, 0.8, 0);
         stats.record_shed(Priority::Normal);
         let report = stats.report();
         let high = report.class(Priority::High);
@@ -507,11 +557,35 @@ mod tests {
 
     #[test]
     fn prediction_error_averages_over_batches() {
-        let mut stats = Stats::new(1);
+        let mut stats = Stats::new(1, 1);
         assert!(stats.report().predicted_error_pct.is_nan());
         stats.record_prediction_error(Duration::from_millis(11), Duration::from_millis(10));
         stats.record_prediction_error(Duration::from_millis(9), Duration::from_millis(10));
         let report = stats.report();
         assert!((report.predicted_error_pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_rows_split_served_and_stolen_work() {
+        let mut stats = Stats::new(1, 2);
+        let t0 = Instant::now();
+        // Lane 0 forms and executes a full batch of 3...
+        stats.record_batch(3, FlushReason::MaxBatch, t0 + Duration::from_millis(1), 0);
+        for _ in 0..3 {
+            stats.record_response(Duration::from_millis(1), false, Priority::Normal, 0, 1.0, 0);
+        }
+        // ...and lane 1 steals and executes a batch of 2 off lane 0's queue.
+        stats.record_batch(2, FlushReason::Steal, t0 + Duration::from_millis(2), 1);
+        for _ in 0..2 {
+            stats.record_response(Duration::from_millis(1), false, Priority::Normal, 0, 1.0, 1);
+        }
+        let report = stats.report();
+        assert_eq!(report.lanes(), 2);
+        assert_eq!(report.lane_served, vec![3, 2]);
+        assert_eq!(report.lane_steals, vec![0, 2]);
+        assert_eq!(report.stolen(), 2);
+        assert_eq!(report.flushes.steal, 1);
+        // Every stolen request still lands in the per-level row.
+        assert_eq!(report.level_served, vec![5]);
     }
 }

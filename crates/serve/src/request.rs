@@ -107,6 +107,9 @@ pub struct InferResponse {
     /// Service level that served it (0 = the server's most accurate level;
     /// higher = degraded by predictive admission).
     pub level: usize,
+    /// Lane whose thread executed the batch (the home lane of `level`
+    /// unless a [`crate::FlushReason::Steal`] moved it to an idle lane).
+    pub lane: usize,
     /// The latency the admission-time model predicted for this request
     /// (queued work ahead of it plus its own service time). Compare with
     /// `latency` to judge the model.

@@ -1,50 +1,173 @@
-//! The [`Server`]: a bounded request queue, a dynamic batcher thread, and
-//! one shared [`Engine`] per service level whose sharded execution core
-//! runs every formed batch.
+//! The [`Server`]: a shared admission front-end feeding [`LaneCount`]
+//! batcher/executor lanes, each draining its own bounded per-lane queue
+//! into the shared per-level [`Engine`]s, with work stealing between idle
+//! lanes.
 //!
 //! ## Request lifecycle
 //!
 //! 1. A client calls [`Server::submit`] from any thread. Admission consults
 //!    the server's [`LatencyModel`]: the request's predicted completion
-//!    (queued work ahead of it plus its own service time at a candidate
-//!    level) is compared against its deadline. [`Priority::High`] requests
-//!    are pinned to the most accurate level and always admitted;
-//!    [`Priority::Normal`] requests degrade down the level ladder until a
-//!    level predicts an on-time completion, and — under
+//!    (queued work ahead of it on its home lane plus its own service time
+//!    at a candidate level) is compared against its deadline.
+//!    [`Priority::High`] requests are pinned to the most accurate level and
+//!    always admitted; [`Priority::Normal`] requests degrade down the level
+//!    ladder until a level predicts an on-time completion, and — under
 //!    [`SloPolicy::shed_normal`] — are refused with [`SubmitError::Shed`]
-//!    when even the cheapest level predicts a miss. Admitted requests enter
-//!    the bounded queue (blocking while full — the backpressure that makes
-//!    closed-loop load generation drop-free) and the client gets a
+//!    when even the cheapest level predicts a miss. Each service level has
+//!    a *home lane* ([`LaneAssignment`]); the admitted request enters that
+//!    lane's bounded queue (blocking while full — the backpressure that
+//!    makes closed-loop load generation drop-free) and the client gets a
 //!    [`Ticket`] back immediately.
-//! 2. The batcher thread accumulates queued requests into per-level pending
-//!    batches, high-priority first, and flushes a level when the first of
-//!    three conditions trips: its batch is full (`max_batch`), some
-//!    member's deadline is within `deadline_slack`, or no new request has
-//!    arrived for `idle_flush`.
+//! 2. Each lane thread accumulates its queued requests into per-level
+//!    pending batches, high-priority first, and flushes a level when the
+//!    first of three conditions trips: its batch is full (`max_batch`),
+//!    some member's deadline is within `deadline_slack`, or no new request
+//!    has arrived for `idle_flush`. A lane with nothing to do *steals*
+//!    ([`StealPolicy`]): it scans the other lanes' queue depths, locks the
+//!    deepest backlogged victim, takes up to one `max_batch` of requests
+//!    off its front (scheduling order, leaving the victim a batch to form),
+//!    and executes them itself — flushes tagged [`FlushReason::Steal`].
 //! 3. The flushed batch runs through [`Engine::infer_batch_iter`] — the
-//!    same sharded, scratch-pooled execution core the offline benchmarks
-//!    use, so served logits are bitwise identical to `Engine::infer_batch`
-//!    on the same images. The measured execution feeds back into the
-//!    latency model ([`LatencyModel::observe`]), so an online model
-//!    converges to this machine's real per-level service times.
+//!    engines are shared across lanes (`&self` inference over a scratch
+//!    checkout pool sized `workers × lanes`), so served logits are bitwise
+//!    identical to `Engine::infer_batch` on the same images no matter which
+//!    lane executes. The measured execution feeds back into the latency
+//!    model ([`LatencyModel::observe`]) from every lane; admission reads
+//!    the one merged model (per-lane observe, merged predict).
 //! 4. Each request's [`Ticket`] resolves with its [`InferResponse`];
-//!    latency, batch size, flush reason, serving level, and deadline
-//!    outcome land in the server's [`ServeReport`], broken out per SLO
-//!    class.
+//!    latency, batch size, flush reason, serving level, serving lane, and
+//!    deadline outcome land in the server's [`ServeReport`], broken out per
+//!    SLO class and per lane.
 //!
-//! Shutdown closes the queue and *drains* it: every accepted request is
-//! still served (flushes tagged [`FlushReason::Shutdown`]), then the
-//! batcher exits. Admission can refuse, but nothing accepted is ever
-//! dropped.
+//! Shutdown closes every lane queue and *drains* them: every accepted
+//! request is still served (flushes tagged [`FlushReason::Shutdown`], idle
+//! lanes steal from draining ones), then the lane threads exit. Admission
+//! can refuse, but nothing accepted is ever dropped.
 
 use crate::report::{FlushReason, ServeReport, Stats};
 use crate::request::{InferRequest, InferResponse, Priority, ResponseSlot, SubmitError, Ticket};
 use heatvit::{CostProfile, Engine, InferenceModel, LatencyModel, MeasuredEwma};
 use heatvit_tensor::Tensor;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Upper clamp applied when [`LaneCount::Auto`] resolves: auto-sizing never
+/// spawns more than this many lanes even on very wide machines (each lane
+/// is a full batcher/executor thread; an explicit [`LaneCount::Fixed`] can
+/// still go higher deliberately).
+pub const MAX_AUTO_LANES: usize = 8;
+
+/// Lane-count policy of a [`ServeConfig`] — how many batcher/executor
+/// threads the server runs.
+///
+/// Like `heatvit::ThreadCount`, `Auto` is *deferred*: the hardware is
+/// queried when the server starts, not when the configuration value is
+/// created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneCount {
+    /// Resolve to [`std::thread::available_parallelism`] at server start,
+    /// clamped to `1..=`[`MAX_AUTO_LANES`] (falling back to 1 when
+    /// parallelism cannot be queried).
+    Auto,
+    /// Exactly this many lanes. Must be positive.
+    Fixed(usize),
+}
+
+impl LaneCount {
+    /// Resolves the policy to a concrete lane count on *this* machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Fixed(0)`.
+    pub fn resolve(self) -> usize {
+        match self {
+            LaneCount::Auto => std::thread::available_parallelism()
+                .ok()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, MAX_AUTO_LANES),
+            LaneCount::Fixed(n) => {
+                assert!(n > 0, "lane count must be positive");
+                n
+            }
+        }
+    }
+}
+
+/// How service levels map onto lanes — which lane is the *home* (admission
+/// target) of each level's traffic.
+///
+/// Per-backend lane assignment is what keeps an int8 level and a float
+/// level from serializing on one batcher: with at least as many lanes as
+/// levels, every backend batches and executes independently, and work
+/// stealing evens out imbalance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneAssignment {
+    /// Level `i` homes on lane `i % lanes` — with `lanes >= levels` every
+    /// backend gets its own lane.
+    RoundRobin,
+    /// `map[level]` is the home lane of `level`. Must name one lane per
+    /// level, each within the resolved lane count.
+    Explicit(Vec<usize>),
+}
+
+impl LaneAssignment {
+    /// The level → home-lane map under `lanes` resolved lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit map does not cover every level or names a lane
+    /// out of range.
+    fn home_map(&self, levels: usize, lanes: usize) -> Vec<usize> {
+        match self {
+            LaneAssignment::RoundRobin => (0..levels).map(|level| level % lanes).collect(),
+            LaneAssignment::Explicit(map) => {
+                assert_eq!(
+                    map.len(),
+                    levels,
+                    "lane assignment must map every service level ({} levels, {} entries)",
+                    levels,
+                    map.len()
+                );
+                for (level, &lane) in map.iter().enumerate() {
+                    assert!(
+                        lane < lanes,
+                        "level {level} assigned to lane {lane}, but only {lanes} lanes exist"
+                    );
+                }
+                map.clone()
+            }
+        }
+    }
+}
+
+/// Work-stealing policy between lanes: what an idle lane does about other
+/// lanes' backlogs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealPolicy {
+    /// Enables stealing (on by default; irrelevant under one lane).
+    pub enabled: bool,
+    /// How often an idle lane re-scans the other lanes' queue depths for a
+    /// backlog worth stealing.
+    pub poll: Duration,
+    /// A victim keeps at least this many queued requests — stealing only
+    /// takes the surplus beyond it, so the victim can still form a full
+    /// local batch. `None` (the default) keeps one `max_batch`.
+    pub keep_local: Option<usize>,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            poll: Duration::from_micros(200),
+            keep_local: None,
+        }
+    }
+}
 
 /// Predictive-admission policy of a [`Server`] (the SLO-aware layer; off by
 /// default so a plain server behaves like a simple bounded queue).
@@ -55,9 +178,9 @@ pub struct SloPolicy {
     pub enabled: bool,
     /// Admission headroom: a level is acceptable when predicted completion
     /// plus `admission_slack` is within the deadline, where the prediction
-    /// is the queued work ahead plus a full `max_batch` of the level's
-    /// per-image service time. Size the slack to cover batching delay plus
-    /// prediction noise.
+    /// is the queued work ahead on the level's home lane plus a full
+    /// `max_batch` of the level's service time. Size the slack to cover
+    /// batching delay plus prediction noise.
     pub admission_slack: Duration,
     /// Refuse Normal requests with [`SubmitError::Shed`] when every level
     /// predicts a miss; with `false` they are admitted at the cheapest
@@ -77,28 +200,38 @@ impl Default for SloPolicy {
 }
 
 /// Tuning knobs of a [`Server`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Flush a pending batch as soon as it holds this many requests (also
-    /// the hard cap on formed-batch size).
+    /// the hard cap on formed-batch size, stolen batches included).
     pub max_batch: usize,
-    /// Bound of the submission queue; blocking [`Server::submit`] waits for
-    /// space, [`Server::try_submit`] returns [`SubmitError::Full`].
+    /// Bound of each lane's submission queue; blocking [`Server::submit`]
+    /// waits for space on the request's home lane, [`Server::try_submit`]
+    /// returns [`SubmitError::Full`].
     pub queue_capacity: usize,
-    /// Flush a non-empty pending batch once no new request has arrived for
-    /// this long (latency floor under trickle traffic).
+    /// Flush a non-empty pending batch once no new request has arrived on
+    /// the lane for this long (latency floor under trickle traffic).
     pub idle_flush: Duration,
-    /// Flush once the earliest deadline in the pending batch is within this
-    /// margin of now — the margin should cover one batch's service time so
-    /// the response still makes the deadline.
+    /// Flush once the earliest deadline in a lane's pending batches is
+    /// within this margin of now — the margin should cover one batch's
+    /// service time so the response still makes the deadline.
     pub deadline_slack: Duration,
     /// Deadline budget given to [`Server::submit_image`] conveniences.
     pub default_deadline: Duration,
-    /// Worker policy of the underlying [`Engine`] (how each formed batch is
-    /// sharded across threads).
+    /// Worker policy of the underlying [`Engine`]s (how each formed batch
+    /// is sharded across threads). The engines' warm scratch pools are
+    /// sized `workers × lanes` so concurrent lanes never contend on
+    /// allocation.
     pub engine: heatvit::EngineConfig,
     /// Predictive-admission policy (disabled by default).
     pub slo: SloPolicy,
+    /// How many batcher/executor lanes to run (one by default — the
+    /// single-batcher behavior of earlier versions).
+    pub lanes: LaneCount,
+    /// Which lane each service level's traffic homes on.
+    pub assignment: LaneAssignment,
+    /// Work stealing between idle and backlogged lanes.
+    pub steal: StealPolicy,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +244,9 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_millis(50),
             engine: heatvit::EngineConfig::default(),
             slo: SloPolicy::default(),
+            lanes: LaneCount::Fixed(1),
+            assignment: LaneAssignment::RoundRobin,
+            steal: StealPolicy::default(),
         }
     }
 }
@@ -119,11 +255,19 @@ impl ServeConfig {
     fn validate(&self) {
         assert!(self.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        if let LaneCount::Fixed(n) = self.lanes {
+            assert!(n > 0, "lane count must be positive");
+        }
+        assert!(
+            !self.steal.enabled || !self.steal.poll.is_zero(),
+            "steal poll interval must be positive when stealing is enabled"
+        );
     }
 }
 
 /// One service level: an engine over one backend, plus the cost profile
-/// and accuracy proxy admission reasons about.
+/// and accuracy proxy admission reasons about. Engines are shared across
+/// lanes — inference takes `&self` over the scratch checkout pool.
 struct Level<M: InferenceModel> {
     engine: Engine<M>,
     profile: CostProfile,
@@ -140,33 +284,40 @@ struct Pending {
     class: Priority,
     /// Service level admission chose (0 = most accurate).
     level: usize,
+    /// Home lane whose in-flight ledger was charged (refunded there on
+    /// completion even when another lane steals and executes the request).
+    lane: usize,
     /// Admission-time predicted service cost of this request alone, µs
-    /// (what `inflight_us` was charged; refunded on completion).
+    /// (what the home lane's `inflight_us` was charged; refunded on
+    /// completion).
     cost_us: u64,
     /// Admission-time predicted total latency (queue wait + service).
     predicted: Duration,
 }
 
-/// Everything behind the queue mutex.
-struct QueueState {
+/// Everything behind one lane's queue mutex.
+struct LaneQueue {
     high: VecDeque<Pending>,
     normal: VecDeque<Pending>,
-    /// `false` once shutdown begins: submissions are refused, the batcher
-    /// drains what remains.
+    /// `false` once shutdown begins: submissions are refused, the lanes
+    /// drain what remains.
     open: bool,
-    /// Most recent arrival, driving the idle-flush timer.
+    /// Most recent arrival on this lane, driving its idle-flush timer.
     last_arrival: Option<Instant>,
-    /// `true` once the first submission has opened the stats window, so
-    /// the per-submit hot path never touches the stats lock again.
-    window_opened: bool,
-    /// Predicted service µs of every admitted-but-unresolved request — the
-    /// queue-wait estimate admission adds to a candidate's own service
-    /// time. Charged at admission, refunded when its batch resolves, so it
-    /// covers queued, pending, and currently executing work.
-    inflight_us: u64,
 }
 
-impl QueueState {
+impl Default for LaneQueue {
+    fn default() -> Self {
+        Self {
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+            open: true,
+            last_arrival: None,
+        }
+    }
+}
+
+impl LaneQueue {
     fn len(&self) -> usize {
         self.high.len() + self.normal.len()
     }
@@ -177,7 +328,7 @@ impl QueueState {
         self.high.pop_front().or_else(|| self.normal.pop_front())
     }
 
-    /// Level of the request [`QueueState::pop_next`] would return.
+    /// Level of the request [`LaneQueue::pop_next`] would return.
     fn peek_next_level(&self) -> Option<usize> {
         self.high
             .front()
@@ -186,18 +337,50 @@ impl QueueState {
     }
 }
 
-/// State shared between client threads and the batcher thread.
+/// One lane's shared state: its bounded queue plus the lock-free signals
+/// other threads read — queue depth (steal victim selection, high-water
+/// mark) and the predicted in-flight work ledger (admission wait
+/// estimates).
+#[derive(Default)]
+struct LaneShared {
+    queue: Mutex<LaneQueue>,
+    /// Signaled on every arrival to this lane and at shutdown; the lane
+    /// thread waits here.
+    arrived: Condvar,
+    /// Signaled whenever this lane's queue space frees up (including by a
+    /// steal); blocking submitters wait.
+    space: Condvar,
+    /// Mirror of the queue length, maintained under the queue lock but
+    /// readable without it — thieves scan depths lock-free.
+    depth: AtomicUsize,
+    /// Highest queue depth ever observed on this lane.
+    depth_hwm: AtomicUsize,
+    /// Predicted service µs of every request admitted to this lane and not
+    /// yet resolved — the queue-wait estimate admission adds to a
+    /// candidate's own service time. Charged at admission, refunded when
+    /// its batch resolves (wherever it executed), so it covers queued,
+    /// pending, and currently executing work.
+    inflight_us: AtomicU64,
+}
+
+/// State shared between client threads and the lane threads.
 struct Shared<M: InferenceModel> {
     /// Service levels, most accurate first; every server has at least one.
     levels: Vec<Level<M>>,
+    /// Home lane of each level ([`LaneAssignment`] resolved).
+    home: Vec<usize>,
+    lanes: Vec<LaneShared>,
     latency: Arc<dyn LatencyModel>,
     config: ServeConfig,
-    queue: Mutex<QueueState>,
-    /// Signaled on every arrival and at shutdown; the batcher waits here.
-    arrived: Condvar,
-    /// Signaled whenever queue space frees up; blocking submitters wait.
-    space: Condvar,
     stats: Mutex<Stats>,
+    /// Per level: `true` once its first batch has fed the latency model —
+    /// before that, a prediction-error sample would only measure the
+    /// prior's cold start. Shared across lanes (any lane can run a level's
+    /// first batch).
+    warmed: Vec<AtomicBool>,
+    /// `true` once the first submission has opened the stats window, so
+    /// the per-submit hot path never touches the stats lock again.
+    window_opened: AtomicBool,
 }
 
 /// A serving front-end over one or more model backends. See the module
@@ -228,17 +411,19 @@ struct Shared<M: InferenceModel> {
 /// ```
 pub struct Server<M: InferenceModel + 'static = heatvit::Backend> {
     shared: Arc<Shared<M>>,
-    batcher: Option<JoinHandle<()>>,
+    lanes: Vec<JoinHandle<()>>,
 }
 
 impl<M: InferenceModel + 'static> Server<M> {
     /// Builds a single-level server (per `config.engine`) with an online
-    /// measured-EWMA latency model and spawns the batcher thread.
+    /// measured-EWMA latency model and spawns the lane threads.
     ///
     /// # Panics
     ///
-    /// Panics if `config` is invalid (zero `max_batch` or
-    /// `queue_capacity`) or the batcher thread cannot be spawned.
+    /// Panics if `config` is invalid (zero `max_batch`, `queue_capacity`,
+    /// or lane count; an explicit lane assignment that does not cover every
+    /// level or names a lane out of range) or a lane thread cannot be
+    /// spawned.
     pub fn start(model: M, config: ServeConfig) -> Self {
         Self::start_tiered(vec![model], config, Arc::new(MeasuredEwma::default()))
     }
@@ -250,13 +435,14 @@ impl<M: InferenceModel + 'static> Server<M> {
     /// onto). `latency` predicts per-request cost at admission and is fed
     /// every measured batch execution — pass an online model (e.g.
     /// `heatvit::MeasuredEwma` over an `FpgaCycleModel` or MAC-proxy
-    /// prior) so predictions converge to this machine.
+    /// prior) so predictions converge to this machine. Every lane feeds the
+    /// same model (per-lane observe, merged predict).
     ///
     /// # Panics
     ///
     /// Panics if `models` is empty, the models disagree on input shape or
-    /// class count, `config` is invalid, or the batcher thread cannot be
-    /// spawned.
+    /// class count, `config` is invalid (see [`Server::start`]), or a lane
+    /// thread cannot be spawned.
     pub fn start_tiered(
         models: Vec<M>,
         config: ServeConfig,
@@ -264,13 +450,21 @@ impl<M: InferenceModel + 'static> Server<M> {
     ) -> Self {
         config.validate();
         assert!(!models.is_empty(), "a server needs at least one backend");
+        let lane_count = config.lanes.resolve();
+        // Engines are shared across lanes; retain one warm scratch per
+        // worker per lane so concurrent lanes batching into the same level
+        // never contend on allocation.
+        let retention = config.engine.threads.resolve() * lane_count;
         let levels: Vec<Level<M>> = models
             .into_iter()
             .map(|model| {
                 let profile = model.cost_profile();
                 let keep = profile.keep_fraction();
                 Level {
-                    engine: Engine::builder(model).config(config.engine).build(),
+                    engine: Engine::builder(model)
+                        .config(config.engine)
+                        .scratch_retention(retention)
+                        .build(),
                     profile,
                     keep,
                 }
@@ -287,36 +481,32 @@ impl<M: InferenceModel + 'static> Server<M> {
             );
         }
         let level_count = levels.len();
+        let home = config.assignment.home_map(level_count, lane_count);
         let shared = Arc::new(Shared {
             levels,
+            home,
+            lanes: (0..lane_count).map(|_| LaneShared::default()).collect(),
             latency,
             config,
-            queue: Mutex::new(QueueState {
-                high: VecDeque::new(),
-                normal: VecDeque::new(),
-                open: true,
-                last_arrival: None,
-                window_opened: false,
-                inflight_us: 0,
-            }),
-            arrived: Condvar::new(),
-            space: Condvar::new(),
-            stats: Mutex::new(Stats::new(level_count)),
+            stats: Mutex::new(Stats::new(level_count, lane_count)),
+            warmed: (0..level_count).map(|_| AtomicBool::new(false)).collect(),
+            window_opened: AtomicBool::new(false),
         });
-        let batcher_shared = Arc::clone(&shared);
-        let batcher = std::thread::Builder::new()
-            .name("heatvit-serve-batcher".into())
-            .spawn(move || batcher_loop(batcher_shared))
-            .expect("failed to spawn batcher thread");
-        Self {
-            shared,
-            batcher: Some(batcher),
-        }
+        let lanes = (0..lane_count)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("heatvit-serve-lane-{index}"))
+                    .spawn(move || lane_loop(shared, index))
+                    .expect("failed to spawn lane thread")
+            })
+            .collect();
+        Self { shared, lanes }
     }
 
-    /// Submits a request, blocking while the bounded queue is full.
-    /// Returns the [`Ticket`] that will resolve with the response, or the
-    /// request back if the server is closed (or, under
+    /// Submits a request, blocking while its home lane's bounded queue is
+    /// full. Returns the [`Ticket`] that will resolve with the response, or
+    /// the request back if the server is closed (or, under
     /// [`SloPolicy::shed_normal`], shed).
     pub fn submit(&self, request: InferRequest) -> Result<Ticket, SubmitError> {
         self.enqueue(request, true)
@@ -340,40 +530,50 @@ impl<M: InferenceModel + 'static> Server<M> {
     /// Picks the service level for an admitted request and its predicted
     /// latency `(level, service µs, total predicted)`; `Err(best)` means
     /// every level predicts a miss (shed candidate, with the cheapest
-    /// level's prediction).
+    /// level's prediction). Reads only the lanes' lock-free in-flight
+    /// ledgers — no queue lock is held.
     fn choose_level(
         &self,
-        queue: &QueueState,
         request: &InferRequest,
         now: Instant,
     ) -> Result<(usize, u64, Duration), (u64, Duration)> {
         let shared = &*self.shared;
         let slo = shared.config.slo;
-        let wait = Duration::from_micros(queue.inflight_us);
-        // Completion estimate per level: queued work ahead, plus a full
-        // `max_batch` of the level's per-image service time — the request
-        // may ride a batch that is executed whole before its response
-        // resolves, and the batch term is also what separates the levels
-        // (per-image differences alone are small next to queue wait, so
-        // admission would almost never find the degradation window).
-        // The inflight charge stays per-image: the backlog drains one
-        // image at a time regardless of batch shape.
-        let predict = |level: &Level<M>| {
-            let per_image = shared.latency.predict(&level.profile);
-            let svc = per_image * shared.config.max_batch as u32;
-            (per_image.as_micros() as u64, wait + svc)
+        let max_batch = shared.config.max_batch;
+        // Completion estimate per level: queued work ahead on the level's
+        // home lane, plus a full `max_batch` of the level's service time —
+        // the request may ride a batch that is executed whole before its
+        // response resolves, and the batch term is also what separates the
+        // levels (per-image differences alone are small next to queue wait,
+        // so admission would almost never find the degradation window).
+        // The inflight charge stays per-image (the batch service time
+        // amortized): the backlog drains one image at a time regardless of
+        // batch shape.
+        let predict = |index: usize| {
+            let level = &shared.levels[index];
+            let svc =
+                shared
+                    .latency
+                    .predict_batch(&level.profile, max_batch, level.engine.threads());
+            let wait = Duration::from_micros(
+                shared.lanes[shared.home[index]]
+                    .inflight_us
+                    .load(Ordering::Relaxed),
+            );
+            let cost = (svc.as_micros() as u64 / max_batch as u64).max(1);
+            (cost, wait + svc)
         };
         // High is pinned to the most accurate level no matter the load;
         // disabled admission serves everyone there too.
         if request.priority == Priority::High || !slo.enabled {
-            let (cost, predicted) = predict(&shared.levels[0]);
+            let (cost, predicted) = predict(0);
             return Ok((0, cost, predicted));
         }
         let mut cheapest = (0, Duration::ZERO);
-        for (i, level) in shared.levels.iter().enumerate() {
-            let (cost, predicted) = predict(level);
+        for index in 0..shared.levels.len() {
+            let (cost, predicted) = predict(index);
             if now + predicted + slo.admission_slack <= request.deadline {
-                return Ok((i, cost, predicted));
+                return Ok((index, cost, predicted));
             }
             cheapest = (cost, predicted);
         }
@@ -388,28 +588,31 @@ impl<M: InferenceModel + 'static> Server<M> {
     fn enqueue(&self, request: InferRequest, block: bool) -> Result<Ticket, SubmitError> {
         let shared = &*self.shared;
         // Shape-check before accepting: a malformed image must be refused
-        // here, at the submitter, not panic later inside the batcher thread
+        // here, at the submitter, not panic later inside a lane thread
         // (which would strand every in-flight ticket).
         let config = shared.levels[0].engine.model().config();
         let expected = [config.in_channels, config.image_size, config.image_size];
         if request.image.dims() != expected {
             return Err(SubmitError::BadImage { request, expected });
         }
-        let mut queue = shared.queue.lock().expect("serve queue poisoned");
-        while queue.open && queue.len() >= shared.config.queue_capacity {
-            if !block {
-                return Err(SubmitError::Full(request));
-            }
-            queue = shared.space.wait(queue).expect("serve queue poisoned");
-        }
-        if !queue.open {
-            return Err(SubmitError::Closed(request));
-        }
         let now = Instant::now();
-        let (level, cost_us, predicted) = match self.choose_level(&queue, &request, now) {
+        // Level choice reads only the lock-free ledgers, so it runs before
+        // any lane lock — it has to: the choice decides *which* lane's
+        // queue the request enters.
+        let choice = self.choose_level(&request, now);
+        let (level, cost_us, predicted) = match choice {
             Ok(choice) => choice,
             Err((_, predicted)) => {
-                drop(queue);
+                // A closed server refuses with Closed, not Shed — check the
+                // (arbitrary) first lane's flag before reporting the shed.
+                let open = shared.lanes[0]
+                    .queue
+                    .lock()
+                    .expect("lane queue poisoned")
+                    .open;
+                if !open {
+                    return Err(SubmitError::Closed(request));
+                }
                 let class = request.priority;
                 shared
                     .stats
@@ -419,6 +622,32 @@ impl<M: InferenceModel + 'static> Server<M> {
                 return Err(SubmitError::Shed { request, predicted });
             }
         };
+        let lane_index = shared.home[level];
+        let lane = &shared.lanes[lane_index];
+        let mut queue = lane.queue.lock().expect("lane queue poisoned");
+        while queue.open && queue.len() >= shared.config.queue_capacity {
+            if !block {
+                return Err(SubmitError::Full(request));
+            }
+            queue = lane.space.wait(queue).expect("lane queue poisoned");
+        }
+        if !queue.open {
+            return Err(SubmitError::Closed(request));
+        }
+        // Open the serving window before the request becomes visible to a
+        // lane (the lane threads never take the stats lock while holding a
+        // queue lock, so the queue→stats order here cannot deadlock) —
+        // otherwise a fast lane could record the first batch completion as
+        // the window start, skewing throughput. The atomic swap keeps this
+        // off the steady-state submit path: the stats lock is taken exactly
+        // once per server lifetime.
+        if !shared.window_opened.swap(true, Ordering::Relaxed) {
+            shared
+                .stats
+                .lock()
+                .expect("serve stats poisoned")
+                .record_first_submit(now);
+        }
         let slot = Arc::new(ResponseSlot::default());
         let pending = Pending {
             image: request.image,
@@ -427,6 +656,7 @@ impl<M: InferenceModel + 'static> Server<M> {
             slot: Arc::clone(&slot),
             class: request.priority,
             level,
+            lane: lane_index,
             cost_us,
             predicted,
         };
@@ -434,45 +664,43 @@ impl<M: InferenceModel + 'static> Server<M> {
             Priority::High => queue.high.push_back(pending),
             Priority::Normal => queue.normal.push_back(pending),
         }
-        queue.inflight_us += cost_us;
+        lane.inflight_us.fetch_add(cost_us, Ordering::Relaxed);
+        let depth = queue.len();
+        lane.depth.store(depth, Ordering::Release);
+        lane.depth_hwm.fetch_max(depth, Ordering::Relaxed);
         queue.last_arrival = Some(now);
-        // Open the serving window before the request becomes visible to the
-        // batcher (queue lock still held; the batcher never takes the stats
-        // lock while holding the queue lock, so the queue→stats order here
-        // cannot deadlock) — otherwise a fast batcher could record the
-        // first batch completion as the window start, skewing throughput.
-        // The flag keeps this off the steady-state submit path: the stats
-        // lock is taken exactly once per server lifetime.
-        if !queue.window_opened {
-            queue.window_opened = true;
-            shared
-                .stats
-                .lock()
-                .expect("serve stats poisoned")
-                .record_first_submit(now);
-        }
         drop(queue);
-        shared.arrived.notify_all();
+        lane.arrived.notify_all();
         Ok(Ticket { slot })
     }
 
-    /// Stops accepting new requests; the batcher keeps draining in the
+    /// Stops accepting new requests; the lanes keep draining in the
     /// background. Safe to call more than once.
     pub fn close(&self) {
-        let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
-        queue.open = false;
-        drop(queue);
-        self.shared.arrived.notify_all();
-        self.shared.space.notify_all();
+        for lane in &self.shared.lanes {
+            let mut queue = lane.queue.lock().expect("lane queue poisoned");
+            queue.open = false;
+            drop(queue);
+            lane.arrived.notify_all();
+            lane.space.notify_all();
+        }
     }
 
     /// Snapshot of everything served so far (callable while running).
     pub fn report(&self) -> ServeReport {
-        self.shared
+        let mut report = self
+            .shared
             .stats
             .lock()
             .expect("serve stats poisoned")
-            .report()
+            .report();
+        report.lane_queue_hwm = self
+            .shared
+            .lanes
+            .iter()
+            .map(|lane| lane.depth_hwm.load(Ordering::Relaxed) as u64)
+            .collect();
+        report
     }
 
     /// The most accurate (level 0) model being served.
@@ -483,6 +711,21 @@ impl<M: InferenceModel + 'static> Server<M> {
     /// Number of service levels.
     pub fn level_count(&self) -> usize {
         self.shared.levels.len()
+    }
+
+    /// Number of batcher/executor lanes ([`LaneCount::Auto`] already
+    /// resolved).
+    pub fn lane_count(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
+    /// Home lane of service level `index` (per [`LaneAssignment`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn home_lane(&self, index: usize) -> usize {
+        self.shared.home[index]
     }
 
     /// The model serving level `index` (0 = most accurate).
@@ -499,12 +742,12 @@ impl<M: InferenceModel + 'static> Server<M> {
         &self.shared.latency
     }
 
-    /// Closes the queue, waits for the drain to finish (every accepted
+    /// Closes the queues, waits for the drain to finish (every accepted
     /// ticket resolves first), and returns the final report.
     pub fn shutdown(mut self) -> ServeReport {
         self.close();
-        if let Some(batcher) = self.batcher.take() {
-            batcher.join().expect("batcher thread panicked");
+        for lane in self.lanes.drain(..) {
+            lane.join().expect("lane thread panicked");
         }
         self.report()
     }
@@ -513,12 +756,12 @@ impl<M: InferenceModel + 'static> Server<M> {
 impl<M: InferenceModel + 'static> Drop for Server<M> {
     fn drop(&mut self) {
         self.close();
-        if let Some(batcher) = self.batcher.take() {
-            // Re-raising a batcher panic here could double-panic during an
+        for lane in self.lanes.drain(..) {
+            // Re-raising a lane panic here could double-panic during an
             // unwind and abort, so the join error is swallowed; use
-            // `shutdown()` to surface it. A batcher panic is always a bug —
+            // `shutdown()` to surface it. A lane panic is always a bug —
             // submissions are shape-checked before they reach the thread.
-            let _ = batcher.join();
+            let _ = lane.join();
         }
     }
 }
@@ -526,9 +769,9 @@ impl<M: InferenceModel + 'static> Drop for Server<M> {
 /// Moves queued requests into their levels' pending batches (scheduling
 /// order), stopping at the first request whose level batch is full —
 /// head-of-line order is preserved and a full batch flushes immediately
-/// anyway. Reports whether anything moved (so the batcher can wake blocked
+/// anyway. Reports whether anything moved (so the lane can wake blocked
 /// submitters).
-fn top_up(queue: &mut QueueState, pending: &mut [Vec<Pending>], max_batch: usize) -> bool {
+fn top_up(queue: &mut LaneQueue, pending: &mut [Vec<Pending>], max_batch: usize) -> bool {
     let mut moved = false;
     while let Some(level) = queue.peek_next_level() {
         if pending[level].len() >= max_batch {
@@ -552,34 +795,87 @@ fn most_urgent_level(pending: &[Vec<Pending>]) -> Option<usize> {
         .map(|(i, _)| i)
 }
 
-/// The batcher thread: gather → flush one level → resolve, until closed
-/// and drained.
-fn batcher_loop<M: InferenceModel + 'static>(shared: Arc<Shared<M>>) {
-    let config = shared.config;
+/// What a lane decided to do after one pass over its queue and pending
+/// batches.
+enum Step {
+    /// Flush this pending level for this reason.
+    Flush(usize, FlushReason),
+    /// Nothing local to do, still open: try stealing, then sleep.
+    Idle,
+    /// Closed and locally drained: try one last steal sweep, then exit.
+    Drained,
+}
+
+/// Steals a batch from the deepest backlogged other lane, if any victim's
+/// queue depth exceeds the keep-local threshold. Takes a contiguous run of
+/// same-level requests off the victim's front in scheduling order (high
+/// first, FIFO within class — exactly what the victim would have batched
+/// next), capped at one `max_batch`. Holds only the victim's queue lock —
+/// never two lane locks at once, so lanes cannot deadlock stealing from
+/// each other.
+fn try_steal<M: InferenceModel>(shared: &Shared<M>, thief: usize) -> Option<(usize, Vec<Pending>)> {
+    let config = &shared.config;
+    if !config.steal.enabled || shared.lanes.len() < 2 {
+        return None;
+    }
+    let keep = config.steal.keep_local.unwrap_or(config.max_batch);
+    let mut best: Option<(usize, usize)> = None;
+    for (index, lane) in shared.lanes.iter().enumerate() {
+        if index == thief {
+            continue;
+        }
+        let depth = lane.depth.load(Ordering::Acquire);
+        if depth > keep && best.is_none_or(|(_, d)| depth > d) {
+            best = Some((index, depth));
+        }
+    }
+    let (victim_index, _) = best?;
+    let victim = &shared.lanes[victim_index];
+    let mut queue = victim.queue.lock().expect("lane queue poisoned");
+    // Re-check under the lock: the depth scan was advisory.
+    let surplus = queue.len().saturating_sub(keep);
+    let take = surplus.min(config.max_batch);
+    if take == 0 {
+        return None;
+    }
+    let level = queue.peek_next_level()?;
+    let mut stolen = Vec::with_capacity(take);
+    while stolen.len() < take && queue.peek_next_level() == Some(level) {
+        stolen.push(queue.pop_next().expect("peeked request vanished"));
+    }
+    victim.depth.store(queue.len(), Ordering::Release);
+    drop(queue);
+    victim.space.notify_all();
+    Some((level, stolen))
+}
+
+/// One lane thread: gather → flush one level → resolve, stealing from
+/// backlogged lanes whenever locally idle, until closed and drained.
+fn lane_loop<M: InferenceModel + 'static>(shared: Arc<Shared<M>>, lane_index: usize) {
+    let config = &shared.config;
+    let lane = &shared.lanes[lane_index];
+    let stealing = config.steal.enabled && shared.lanes.len() > 1;
     let mut pending: Vec<Vec<Pending>> = (0..shared.levels.len()).map(|_| Vec::new()).collect();
-    // Levels whose first batch has fed the latency model — before that, a
-    // prediction-error sample would only measure the prior's cold start.
-    let mut warmed = vec![false; shared.levels.len()];
     loop {
-        let (level, reason) = {
-            let mut queue = shared.queue.lock().expect("serve queue poisoned");
+        let step = {
+            let mut queue = lane.queue.lock().expect("lane queue poisoned");
             loop {
                 if top_up(&mut queue, &mut pending, config.max_batch) {
-                    shared.space.notify_all();
+                    lane.depth.store(queue.len(), Ordering::Release);
+                    lane.space.notify_all();
                 }
                 if let Some(full) = pending.iter().position(|b| b.len() >= config.max_batch) {
-                    break (full, FlushReason::MaxBatch);
+                    break Step::Flush(full, FlushReason::MaxBatch);
                 }
                 let urgent = most_urgent_level(&pending);
                 if !queue.open {
-                    match urgent {
-                        None => return, // closed and fully drained
-                        Some(level) => break (level, FlushReason::Shutdown),
-                    }
+                    break match urgent {
+                        Some(level) => Step::Flush(level, FlushReason::Shutdown),
+                        None => Step::Drained,
+                    };
                 }
                 let Some(urgent) = urgent else {
-                    queue = shared.arrived.wait(queue).expect("serve queue poisoned");
-                    continue;
+                    break Step::Idle;
                 };
                 // A partial batch is pending: sleep until whichever flush
                 // timer trips first, unless a new arrival wakes us to top
@@ -601,28 +897,64 @@ fn batcher_loop<M: InferenceModel + 'static>(shared: Arc<Shared<M>>) {
                     (idle_at, FlushReason::Idle)
                 };
                 if flush_at <= now {
-                    break (urgent, tentative);
+                    break Step::Flush(urgent, tentative);
                 }
-                let (guard, _timeout) = shared
+                let (guard, _timeout) = lane
                     .arrived
                     .wait_timeout(queue, flush_at - now)
-                    .expect("serve queue poisoned");
+                    .expect("lane queue poisoned");
                 queue = guard;
             }
         };
-        execute_batch(&shared, &mut pending[level], level, reason, &mut warmed);
+        match step {
+            Step::Flush(level, reason) => {
+                execute_batch(&shared, &mut pending[level], level, reason, lane_index);
+            }
+            Step::Idle => {
+                if let Some((level, mut stolen)) = try_steal(&shared, lane_index) {
+                    execute_batch(&shared, &mut stolen, level, FlushReason::Steal, lane_index);
+                    continue;
+                }
+                // Nothing to steal either: sleep until an arrival — or for
+                // one steal-poll interval, so another lane's backlog is
+                // noticed promptly. Re-check emptiness under the lock
+                // first; an arrival between the steal attempt and here must
+                // not be slept through.
+                let queue = lane.queue.lock().expect("lane queue poisoned");
+                if queue.len() == 0 && queue.open {
+                    if stealing {
+                        drop(
+                            lane.arrived
+                                .wait_timeout(queue, config.steal.poll)
+                                .expect("lane queue poisoned"),
+                        );
+                    } else {
+                        drop(lane.arrived.wait(queue).expect("lane queue poisoned"));
+                    }
+                }
+            }
+            Step::Drained => {
+                // Help drain the other lanes' backlogs before exiting.
+                if let Some((level, mut stolen)) = try_steal(&shared, lane_index) {
+                    execute_batch(&shared, &mut stolen, level, FlushReason::Steal, lane_index);
+                    continue;
+                }
+                return;
+            }
+        }
     }
 }
 
-/// Runs one level's formed batch through its engine's sharded execution
-/// core, feeds the measured execution back into the latency model, and
-/// resolves every member's response slot.
+/// Runs one formed batch through its level's engine (shared across lanes —
+/// the sharded execution core), feeds the measured execution back into the
+/// latency model, refunds the in-flight ledgers, and resolves every
+/// member's response slot.
 fn execute_batch<M: InferenceModel>(
     shared: &Shared<M>,
     pending: &mut Vec<Pending>,
     level_index: usize,
     reason: FlushReason,
-    warmed: &mut [bool],
+    lane_index: usize,
 ) {
     debug_assert!(!pending.is_empty(), "flushed an empty batch");
     let level = &shared.levels[level_index];
@@ -638,18 +970,22 @@ fn execute_batch<M: InferenceModel>(
     // feed the measurement back (prediction before observation, or the
     // comparison is circular). The first batch per level only warms the
     // model up: scoring it would measure the prior's cold start.
-    let predicted_batch = shared.latency.predict(&level.profile) * batch_size as u32;
-    let record_error = warmed[level_index];
-    warmed[level_index] = true;
+    let predicted_batch =
+        shared
+            .latency
+            .predict_batch(&level.profile, batch_size, level.engine.threads());
+    let record_error = shared.warmed[level_index].swap(true, Ordering::Relaxed);
     shared.latency.observe(&level.profile, batch_size, measured);
 
-    // Refund the predicted in-flight work this batch was charged with (the
-    // queue lock is taken and released before the stats lock below — the
-    // batcher never holds both).
-    {
-        let mut queue = shared.queue.lock().expect("serve queue poisoned");
-        let refund: u64 = pending.iter().map(|p| p.cost_us).sum();
-        queue.inflight_us = queue.inflight_us.saturating_sub(refund);
+    // Refund the predicted in-flight work this batch was charged with —
+    // always against each request's *home* lane's ledger, which is the one
+    // admission charged, even when this batch was stolen. Lock-free: the
+    // ledgers are atomics.
+    for request in pending.iter() {
+        let ledger = &shared.lanes[request.lane].inflight_us;
+        let _ = ledger.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(request.cost_us))
+        });
     }
 
     // Build every response (tensor copies included) before touching the
@@ -675,6 +1011,7 @@ fn execute_batch<M: InferenceModel>(
                 flush: reason,
                 class: request.class,
                 level: request.level,
+                lane: lane_index,
                 predicted: request.predicted,
             };
             (request.slot, response, request.class, request.level)
@@ -682,7 +1019,7 @@ fn execute_batch<M: InferenceModel>(
         .collect();
     {
         let mut stats = shared.stats.lock().expect("serve stats poisoned");
-        stats.record_batch(batch_size, reason, done);
+        stats.record_batch(batch_size, reason, done, lane_index);
         if record_error {
             stats.record_prediction_error(predicted_batch, measured);
         }
@@ -693,6 +1030,7 @@ fn execute_batch<M: InferenceModel>(
                 *class,
                 *level_idx,
                 level.keep,
+                lane_index,
             );
         }
     }
@@ -720,20 +1058,14 @@ mod tests {
             slot: Arc::new(ResponseSlot::default()),
             class: Priority::Normal,
             level,
+            lane: 0,
             cost_us: 0,
             predicted: Duration::ZERO,
         }
     }
 
-    fn empty_queue() -> QueueState {
-        QueueState {
-            high: VecDeque::new(),
-            normal: VecDeque::new(),
-            open: true,
-            last_arrival: None,
-            window_opened: false,
-            inflight_us: 0,
-        }
+    fn empty_queue() -> LaneQueue {
+        LaneQueue::default()
     }
 
     impl Pending {
@@ -792,5 +1124,51 @@ mod tests {
         let batches = vec![vec![pending(30)], Vec::new(), vec![pending(40), pending(5)]];
         assert_eq!(most_urgent_level(&batches), Some(2));
         assert_eq!(most_urgent_level(&[Vec::new(), Vec::new()]), None);
+    }
+
+    #[test]
+    fn fixed_lane_count_resolves_to_itself() {
+        assert_eq!(LaneCount::Fixed(3).resolve(), 3);
+        assert_eq!(LaneCount::Fixed(1).resolve(), 1);
+        // Auto resolves somewhere in the clamp range on any machine.
+        let auto = LaneCount::Auto.resolve();
+        assert!((1..=MAX_AUTO_LANES).contains(&auto));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count must be positive")]
+    fn zero_fixed_lanes_panics_at_resolution() {
+        LaneCount::Fixed(0).resolve();
+    }
+
+    #[test]
+    fn round_robin_homes_wrap_over_lanes() {
+        assert_eq!(LaneAssignment::RoundRobin.home_map(3, 2), vec![0, 1, 0]);
+        assert_eq!(LaneAssignment::RoundRobin.home_map(2, 4), vec![0, 1]);
+        assert_eq!(LaneAssignment::RoundRobin.home_map(3, 1), vec![0, 0, 0]);
+        assert_eq!(
+            LaneAssignment::Explicit(vec![1, 1, 0]).home_map(3, 2),
+            vec![1, 1, 0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must map every service level")]
+    fn explicit_assignment_must_cover_every_level() {
+        LaneAssignment::Explicit(vec![0]).home_map(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 lanes exist")]
+    fn explicit_assignment_rejects_out_of_range_lanes() {
+        LaneAssignment::Explicit(vec![0, 2]).home_map(2, 2);
+    }
+
+    #[test]
+    fn steal_policy_defaults_keep_one_batch_local() {
+        let policy = StealPolicy::default();
+        assert!(policy.enabled);
+        assert!(policy.keep_local.is_none());
+        assert!(!policy.poll.is_zero());
     }
 }
