@@ -1,8 +1,9 @@
 //! The variant throughput table: every [`BackendKind`] (dense,
-//! adaptive-pruned, static-pruned, int8-dense, int8-adaptive) driven as a
+//! adaptive-pruned, static-pruned, the training-free cls-attn /
+//! token-merge / topk-attn family, int8-dense, int8-adaptive) driven as a
 //! type-erased `Engine<Backend>` over the same synthetic batch, measured
 //! sequentially and sharded across a 4-thread worker pool. One measurement
-//! loop, five rows — no per-backend code.
+//! loop, eight rows — no per-backend code.
 //!
 //! ```text
 //! cargo run --release -p heatvit-bench --bin run_all [-- --quick]
@@ -26,8 +27,11 @@
 //! variant and sharded/sequential parity for the multi-threaded engine, so
 //! the table is only printed for verified-identical arithmetic. The int8
 //! rows report packed-DSP-equivalent MACs (raw ÷ ~1.9, paper Section V-C)
-//! and must agree with the float dense model on ≥95 % of top-1 predictions
-//! — all asserted, not just printed.
+//! and must agree with the float dense model on ≥95 % of top-1 predictions.
+//! The training-free rows carry their own gate: cls-attn and token-merge
+//! are held to the same 95 % agreement budget, and token mergence must
+//! disagree with dense no more often than the hard drop at the identical
+//! keep rate — all asserted, not just printed.
 
 use heatvit::{BackendKind, Engine, InferenceModel, LatencyModel};
 use heatvit_bench::json::{self, JsonObject};
@@ -156,6 +160,14 @@ fn agreement(row: &Row, reference: &Row) -> f64 {
     same as f64 / reference.predictions.len().max(1) as f64
 }
 
+fn mismatches(row: &Row, reference: &Row) -> usize {
+    row.predictions
+        .iter()
+        .zip(reference.predictions.iter())
+        .filter(|(a, b)| a != b)
+        .count()
+}
+
 fn main() {
     let images = synthetic_batch(batch_size(), 0);
     let cores = heatvit::EngineConfig::auto().threads.resolve();
@@ -207,22 +219,30 @@ fn main() {
             r.fpga_ms,
             agree * 100.0
         );
-        if r.kind.is_quantized() {
-            let mismatches = r
-                .predictions
-                .iter()
-                .zip(reference.predictions.iter())
-                .filter(|(a, b)| a != b)
-                .count();
+        if r.kind.is_quantized() || matches!(r.kind, BackendKind::ClsAttn | BackendKind::TokenMerge)
+        {
+            let missed = mismatches(r, reference);
             let allowed = allowed_mismatches(reference.predictions.len());
             assert!(
-                mismatches <= allowed,
-                "{}: {mismatches} top-1 disagreements vs. float dense exceed the \
+                missed <= allowed,
+                "{}: {missed} top-1 disagreements vs. float dense exceed the \
                  {INT8_MIN_AGREEMENT} gate's budget of {allowed}",
                 r.kind
             );
         }
     }
+
+    // The paper's mergence claim, held at the table level: folding pruned
+    // tokens into their nearest kept neighbour must not lose more top-1
+    // agreement than discarding them outright at the identical keep rate.
+    let by_kind = |kind| rows.iter().find(|r| r.kind == kind).expect("row exists");
+    let cls_missed = mismatches(by_kind(BackendKind::ClsAttn), reference);
+    let merge_missed = mismatches(by_kind(BackendKind::TokenMerge), reference);
+    assert!(
+        merge_missed <= cls_missed,
+        "token mergence disagreed with dense {merge_missed} time(s) but the cls-attn \
+         hard drop only {cls_missed} — mergence must preserve at least as much accuracy"
+    );
     println!(
         "\nparity: batched logits bitwise-identical to per-image inference for all variants, \
          and the {PAR_THREADS}-thread sharded engine bitwise-identical to sequential"
@@ -238,6 +258,11 @@ fn main() {
         INT8_MIN_AGREEMENT * 100.0,
         allowed_mismatches(images.len()),
         images.len()
+    );
+    println!(
+        "training-free rows: cls-attn and token-merge held to the same top-1 agreement \
+         budget, and mergence asserted to disagree with dense no more often than the \
+         hard drop ({merge_missed} vs {cls_missed} mismatch(es))"
     );
     if cores < PAR_THREADS {
         println!(

@@ -88,11 +88,18 @@ const SLO_SWEEP: [f64; 2] = [1.0, 2.5];
 /// One High-priority request per this many submissions in the SLO and
 /// open-loop sweeps.
 const HIGH_EVERY: usize = 5;
-/// The service-level ladder of the SLO sweep, most accurate first. Host
-/// wall-clock happens to increase in the same order (dense slowest), so
-/// degradation buys real latency at each step.
-const SLO_LADDER: [BackendKind; 3] = [
+/// The service-level ladder of the SLO sweep, most accurate first (per
+/// `run_all`'s measured top-1 agreement vs. dense). The first degradation
+/// steps are the training-free family — accuracy bought back without any
+/// selector training — before the learned static and adaptive schedules
+/// take over. Per-image MACs are non-increasing down the ladder
+/// (token-merge and cls-attn share a token schedule), so every step the
+/// admission controller takes predicts a cheaper batch.
+const SLO_LADDER: [BackendKind; 6] = [
     BackendKind::Dense,
+    BackendKind::TopK,
+    BackendKind::TokenMerge,
+    BackendKind::ClsAttn,
     BackendKind::StaticPruned,
     BackendKind::AdaptivePruned,
 ];

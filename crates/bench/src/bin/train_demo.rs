@@ -4,13 +4,17 @@
 //! table.
 //!
 //! ```text
-//! cargo run --release -p heatvit-bench --bin train_demo [-- --quick]
+//! cargo run --release -p heatvit-bench --bin train_demo [-- --quick] [-- --joint]
 //! ```
 //!
 //! `--quick` shrinks the dataset, the epoch counts, and the keep-target
 //! sweep for CI smoke runs; the `HEATVIT_TRAIN_STEPS` environment variable
 //! additionally caps the optimizer steps of every training phase (it
 //! composes with `--quick`, mirroring `HEATVIT_RUN_ALL_SAMPLES`).
+//! `--joint` additionally trains a `train_backbone: true` student at the
+//! primary keep targets — selector *and* backbone weights both receive
+//! gradients, the paper's joint finetuning phase — and reports its accuracy
+//! row next to the frozen-backbone students.
 //!
 //! The binary asserts (not just prints) the three claims the CI train-smoke
 //! job greps for: the composed loss decreases over the primary student's
@@ -93,6 +97,19 @@ fn student_config(targets: &[f32; 2], epochs: usize, max_steps: Option<u64>) -> 
         max_steps,
         seed: 7,
         ..TrainConfig::default()
+    }
+}
+
+/// The joint-finetuning configuration (`--joint`): same objective as the
+/// selector-tuning students, but the backbone unfreezes too, at a gentler
+/// peak learning rate so the distilled backbone is refined rather than
+/// re-initialized.
+fn joint_config(targets: &[f32; 2], epochs: usize, max_steps: Option<u64>) -> TrainConfig {
+    TrainConfig {
+        peak_lr: 3e-3,
+        min_lr: 1e-3,
+        train_backbone: true,
+        ..student_config(targets, epochs, max_steps)
     }
 }
 
@@ -209,6 +226,27 @@ fn main() {
     }
     println!();
 
+    // Optional joint finetuning: the same objective with the backbone
+    // unfrozen (`train_backbone: true`), at the primary keep targets.
+    let joint = if std::env::args().any(|a| a == "--joint") {
+        println!(
+            "[2b/3] joint finetuning (--joint: backbone + selectors, targets {:.2}/{:.2})",
+            DEMO_STAGE_KEEPS[0], DEMO_STAGE_KEEPS[1]
+        );
+        let mut student = make_student(&teacher, 0xD0E);
+        let run = Trainer::new(joint_config(&DEMO_STAGE_KEEPS, scale.student_epochs, cap)).fit(
+            &mut student,
+            Some(&teacher),
+            &train,
+            &val,
+        );
+        print_epoch_table(&run);
+        println!();
+        Some((run, student))
+    } else {
+        None
+    };
+
     let (primary_targets, primary_run, primary_student) = sweep
         .iter()
         .find(|(t, _, _)| *t == DEMO_STAGE_KEEPS)
@@ -319,7 +357,7 @@ fn main() {
         dense_macs / 1e6,
         1.0
     );
-    for (targets, run, student) in &sweep {
+    let accuracy_row = |label: String, run: &TrainRun, student: &PrunedViT| {
         let r = run.last();
         let keep = run.converged_keep(KEEP_WINDOW);
         let sched = learned_schedule(&student.selector_blocks(), &keep);
@@ -327,12 +365,29 @@ fn main() {
             .total_macs() as f64;
         println!(
             "{:<22} {:>13.3} {:>8.1}% {:>12.1} {:>11.2} {:>11.2}x",
-            format!("student {:.2}/{:.2}", targets[0], targets[1]),
+            label,
             keep.iter().sum::<f32>() / keep.len().max(1) as f32,
             r.val_top1 * 100.0,
             r.final_tokens,
             macs / 1e6,
             dense_macs / macs.max(1.0)
+        );
+    };
+    for (targets, run, student) in &sweep {
+        accuracy_row(
+            format!("student {:.2}/{:.2}", targets[0], targets[1]),
+            run,
+            student,
+        );
+    }
+    if let Some((run, student)) = &joint {
+        accuracy_row(
+            format!(
+                "joint {:.2}/{:.2} (bb)",
+                DEMO_STAGE_KEEPS[0], DEMO_STAGE_KEEPS[1]
+            ),
+            run,
+            student,
         );
     }
     if gates_enforced {

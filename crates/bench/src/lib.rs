@@ -16,6 +16,7 @@ use heatvit_data::{SyntheticConfig, SyntheticDataset};
 use heatvit_quant::{QuantPruneStage, QuantizedViT};
 use heatvit_selector::{PrunedViT, StaticPrunedViT, StaticRule, StaticStage, TokenSelector};
 use heatvit_tensor::Tensor;
+use heatvit_tfprune::{ClsAttnPrunedViT, TfStage, TokenMergeViT, TopKPrunedViT, TopKStage};
 use heatvit_vit::{ViTConfig, VisionTransformer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,6 +61,55 @@ pub fn static_pruned(backbone: VisionTransformer) -> StaticPrunedViT {
             .collect(),
         StaticRule::CliffAttention,
         0,
+    )
+}
+
+/// The ratio stages every training-free ratio variant shares: the demo
+/// schedule's blocks and keeps, so cls-attn and token-merge run at exactly
+/// the keep rate of the learned/static baselines (and of each other — the
+/// mergence-vs-hard-drop agreement comparison is only meaningful at equal
+/// keep rates).
+pub fn tf_stages() -> Vec<TfStage> {
+    DEMO_SELECTOR_BLOCKS
+        .iter()
+        .zip(DEMO_STAGE_KEEPS.iter())
+        .map(|(&block, &keep_ratio)| TfStage { block, keep_ratio })
+        .collect()
+}
+
+/// The training-free CLS-attention hard-drop variant over a given backbone,
+/// at the demo schedule's stages.
+pub fn cls_attn_pruned(backbone: VisionTransformer) -> ClsAttnPrunedViT {
+    ClsAttnPrunedViT::new(backbone, tf_stages())
+}
+
+/// The training-free token-mergence variant over a given backbone — same
+/// stages (and therefore the same token schedule and MAC budget, up to the
+/// charged merge overhead) as [`cls_attn_pruned`].
+pub fn token_merge(backbone: VisionTransformer) -> TokenMergeViT {
+    TokenMergeViT::new(backbone, tf_stages())
+}
+
+/// Keep *counts* of the fixed-layer top-k demo schedule (12 then 7 of the
+/// micro config's 16 patch tokens — close to the ratio family's 12/8, so
+/// the report rows are comparable).
+pub const DEMO_TOPK_KEEPS: [usize; 2] = [12, 7];
+
+/// Blocks the fixed-layer top-k demo schedule prunes in front of (offset
+/// from the ratio family's to exercise distinct depths).
+pub const DEMO_TOPK_BLOCKS: [usize; 2] = [2, 4];
+
+/// The training-free fixed-layer top-k variant over a given backbone:
+/// static keep counts [`DEMO_TOPK_KEEPS`] at blocks [`DEMO_TOPK_BLOCKS`],
+/// ranked by CLS attention plus value-norm share.
+pub fn topk_pruned(backbone: VisionTransformer) -> TopKPrunedViT {
+    TopKPrunedViT::new(
+        backbone,
+        DEMO_TOPK_BLOCKS
+            .iter()
+            .zip(DEMO_TOPK_KEEPS.iter())
+            .map(|(&block, &keep)| TopKStage { block, keep })
+            .collect(),
     )
 }
 
@@ -111,6 +161,9 @@ pub fn build_backend(kind: BackendKind) -> Backend {
         BackendKind::Dense => Backend::from(backbone),
         BackendKind::AdaptivePruned => Backend::from(adaptive_pruned(backbone, 0)),
         BackendKind::StaticPruned => Backend::from(static_pruned(backbone)),
+        BackendKind::ClsAttn => Backend::from(cls_attn_pruned(backbone)),
+        BackendKind::TokenMerge => Backend::from(token_merge(backbone)),
+        BackendKind::TopK => Backend::from(topk_pruned(backbone)),
         BackendKind::Int8Dense => Backend::from(quantized_dense(&backbone)),
         BackendKind::Int8Adaptive => Backend::from(quantized_adaptive(&backbone)),
     }
@@ -206,6 +259,28 @@ mod tests {
         let a = build_backend(BackendKind::AdaptivePruned).infer_one(img, &mut scratch);
         let b = build_backend(BackendKind::AdaptivePruned).infer_one(img, &mut scratch);
         assert_eq!(a.logits.data(), b.logits.data());
+    }
+
+    #[test]
+    fn training_free_fixtures_share_the_demo_keep_rates() {
+        let backbone = micro_backbone(1);
+        let cls = cls_attn_pruned(backbone.clone());
+        let merge = token_merge(backbone.clone());
+        // Equal keep rates by construction: the mergence-vs-hard-drop
+        // comparison is at identical token schedules.
+        assert_eq!(
+            cls.planned_tokens_per_block(),
+            merge.planned_tokens_per_block()
+        );
+        // And they mirror the static baseline's schedule (same ceil
+        // arithmetic over the same blocks/ratios).
+        let stat = static_pruned(backbone.clone());
+        assert_eq!(cls.planned_tokens_per_block(), {
+            let img = &synthetic_batch(1, 7)[0];
+            stat.infer(img).tokens_per_block
+        });
+        let topk = topk_pruned(backbone);
+        assert_eq!(topk.planned_tokens_per_block(), vec![17, 17, 13, 13, 8, 8]);
     }
 
     #[test]

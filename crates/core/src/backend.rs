@@ -3,7 +3,7 @@
 //! `Engine<M>` is generic so specialized deployments monomorphize away the
 //! dispatch, but a serving front-end (and any table-driven harness like
 //! `run_all`) wants *one* engine type whose concrete model is chosen at
-//! runtime. [`Backend`] is that handle: an enum over the workspace's four
+//! runtime. [`Backend`] is that handle: an enum over the workspace's seven
 //! model types, dispatching [`InferenceModel`] by `match` — no heap
 //! allocation, no vtable, and `Engine<Backend>` is a single nameable type.
 //! [`BackendKind`] is the matching value-level selector: a closed set of
@@ -14,9 +14,10 @@ use crate::model::{InferenceModel, ModelOutput};
 use heatvit_quant::QuantizedViT;
 use heatvit_selector::{PruneScratch, PrunedViT, StaticPrunedViT};
 use heatvit_tensor::Tensor;
+use heatvit_tfprune::{ClsAttnPrunedViT, TokenMergeViT, TopKPrunedViT};
 use heatvit_vit::{ViTConfig, VisionTransformer};
 
-/// A type-erased inference backend: one of the four workspace model types
+/// A type-erased inference backend: one of the seven workspace model types
 /// behind a single concrete type.
 ///
 /// Every variant's [`InferenceModel`] implementation is forwarded
@@ -45,6 +46,14 @@ pub enum Backend {
     AdaptivePruned(PrunedViT),
     /// Input-agnostic static pruning baseline (float).
     StaticPruned(StaticPrunedViT),
+    /// Training-free CLS-attention hard-drop pruning (float, no learned
+    /// selector).
+    ClsAttnPruned(ClsAttnPrunedViT),
+    /// Training-free token mergence: hard-drop schedule, pruned tokens
+    /// folded into their nearest kept token (float).
+    TokenMerge(TokenMergeViT),
+    /// Training-free fixed-layer top-k pruning (float, static keep counts).
+    TopKPruned(TopKPrunedViT),
     /// The int8 integer pipeline, dense or adaptively pruned depending on
     /// its installed stages.
     Quantized(QuantizedViT),
@@ -58,6 +67,9 @@ impl Backend {
             Backend::Dense(_) => BackendKind::Dense,
             Backend::AdaptivePruned(_) => BackendKind::AdaptivePruned,
             Backend::StaticPruned(_) => BackendKind::StaticPruned,
+            Backend::ClsAttnPruned(_) => BackendKind::ClsAttn,
+            Backend::TokenMerge(_) => BackendKind::TokenMerge,
+            Backend::TopKPruned(_) => BackendKind::TopK,
             Backend::Quantized(q) => {
                 if q.prune_stages().is_empty() {
                     BackendKind::Int8Dense
@@ -87,6 +99,24 @@ impl From<StaticPrunedViT> for Backend {
     }
 }
 
+impl From<ClsAttnPrunedViT> for Backend {
+    fn from(model: ClsAttnPrunedViT) -> Self {
+        Backend::ClsAttnPruned(model)
+    }
+}
+
+impl From<TokenMergeViT> for Backend {
+    fn from(model: TokenMergeViT) -> Self {
+        Backend::TokenMerge(model)
+    }
+}
+
+impl From<TopKPrunedViT> for Backend {
+    fn from(model: TopKPrunedViT) -> Self {
+        Backend::TopKPruned(model)
+    }
+}
+
 impl From<QuantizedViT> for Backend {
     fn from(model: QuantizedViT) -> Self {
         Backend::Quantized(model)
@@ -99,6 +129,9 @@ impl InferenceModel for Backend {
             Backend::Dense(m) => m.variant(),
             Backend::AdaptivePruned(m) => m.variant(),
             Backend::StaticPruned(m) => m.variant(),
+            Backend::ClsAttnPruned(m) => m.variant(),
+            Backend::TokenMerge(m) => m.variant(),
+            Backend::TopKPruned(m) => m.variant(),
             Backend::Quantized(m) => m.variant(),
         }
     }
@@ -108,6 +141,9 @@ impl InferenceModel for Backend {
             Backend::Dense(m) => InferenceModel::config(m),
             Backend::AdaptivePruned(m) => InferenceModel::config(m),
             Backend::StaticPruned(m) => InferenceModel::config(m),
+            Backend::ClsAttnPruned(m) => InferenceModel::config(m),
+            Backend::TokenMerge(m) => InferenceModel::config(m),
+            Backend::TopKPruned(m) => InferenceModel::config(m),
             Backend::Quantized(m) => InferenceModel::config(m),
         }
     }
@@ -117,6 +153,9 @@ impl InferenceModel for Backend {
             Backend::Dense(m) => m.infer_one(image, scratch),
             Backend::AdaptivePruned(m) => m.infer_one(image, scratch),
             Backend::StaticPruned(m) => m.infer_one(image, scratch),
+            Backend::ClsAttnPruned(m) => m.infer_one(image, scratch),
+            Backend::TokenMerge(m) => m.infer_one(image, scratch),
+            Backend::TopKPruned(m) => m.infer_one(image, scratch),
             Backend::Quantized(m) => m.infer_one(image, scratch),
         }
     }
@@ -126,6 +165,9 @@ impl InferenceModel for Backend {
             Backend::Dense(m) => InferenceModel::dense_macs(m),
             Backend::AdaptivePruned(m) => InferenceModel::dense_macs(m),
             Backend::StaticPruned(m) => InferenceModel::dense_macs(m),
+            Backend::ClsAttnPruned(m) => InferenceModel::dense_macs(m),
+            Backend::TokenMerge(m) => InferenceModel::dense_macs(m),
+            Backend::TopKPruned(m) => InferenceModel::dense_macs(m),
             Backend::Quantized(m) => InferenceModel::dense_macs(m),
         }
     }
@@ -135,6 +177,9 @@ impl InferenceModel for Backend {
             Backend::Dense(m) => m.cost_profile(),
             Backend::AdaptivePruned(m) => m.cost_profile(),
             Backend::StaticPruned(m) => m.cost_profile(),
+            Backend::ClsAttnPruned(m) => m.cost_profile(),
+            Backend::TokenMerge(m) => m.cost_profile(),
+            Backend::TopKPruned(m) => m.cost_profile(),
             Backend::Quantized(m) => m.cost_profile(),
         }
     }
@@ -153,6 +198,12 @@ pub enum BackendKind {
     AdaptivePruned,
     /// Static pruning baseline ([`StaticPrunedViT`]).
     StaticPruned,
+    /// Training-free CLS-attention hard drop ([`ClsAttnPrunedViT`]).
+    ClsAttn,
+    /// Training-free token mergence ([`TokenMergeViT`]).
+    TokenMerge,
+    /// Training-free fixed-layer top-k ([`TopKPrunedViT`]).
+    TopK,
     /// Int8 pipeline without pruning stages ([`QuantizedViT`]).
     Int8Dense,
     /// Int8 pipeline with attention-driven pruning stages.
@@ -161,11 +212,15 @@ pub enum BackendKind {
 
 impl BackendKind {
     /// Every kind, in canonical report-table order (dense baseline first —
-    /// harnesses use it as the accuracy/agreement reference row).
-    pub const ALL: [BackendKind; 5] = [
+    /// harnesses use it as the accuracy/agreement reference row — then the
+    /// learned schedules, the training-free family, and the int8 pipeline).
+    pub const ALL: [BackendKind; 8] = [
         BackendKind::Dense,
         BackendKind::AdaptivePruned,
         BackendKind::StaticPruned,
+        BackendKind::ClsAttn,
+        BackendKind::TokenMerge,
+        BackendKind::TopK,
         BackendKind::Int8Dense,
         BackendKind::Int8Adaptive,
     ];
@@ -179,6 +234,9 @@ impl BackendKind {
             BackendKind::Dense => VisionTransformer::VARIANT,
             BackendKind::AdaptivePruned => PrunedViT::VARIANT,
             BackendKind::StaticPruned => StaticPrunedViT::VARIANT,
+            BackendKind::ClsAttn => ClsAttnPrunedViT::VARIANT,
+            BackendKind::TokenMerge => TokenMergeViT::VARIANT,
+            BackendKind::TopK => TopKPrunedViT::VARIANT,
             BackendKind::Int8Dense => QuantizedViT::VARIANT_DENSE,
             BackendKind::Int8Adaptive => QuantizedViT::VARIANT_ADAPTIVE,
         }
@@ -216,5 +274,8 @@ mod tests {
     fn display_matches_label() {
         assert_eq!(BackendKind::Int8Adaptive.to_string(), "int8-adaptive");
         assert_eq!(BackendKind::AdaptivePruned.to_string(), "adaptive-pruned");
+        assert_eq!(BackendKind::ClsAttn.to_string(), "cls-attn");
+        assert_eq!(BackendKind::TokenMerge.to_string(), "token-merge");
+        assert_eq!(BackendKind::TopK.to_string(), "topk-attn");
     }
 }

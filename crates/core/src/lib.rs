@@ -6,16 +6,19 @@
 //!
 //! The lower crates each own one concern — `heatvit-tensor` (dense `f32`
 //! math), `heatvit-nn` (autograd + layers), `heatvit-vit` (the backbone),
-//! `heatvit-selector` (adaptive and static token pruning), `heatvit-quant`
-//! (int8 arithmetic), `heatvit-data` (synthetic datasets) — but they expose
-//! three *different* single-image inference APIs. This crate folds them into
-//! one:
+//! `heatvit-selector` (adaptive and static token pruning),
+//! `heatvit-tfprune` (training-free pruning: CLS-attention hard drop, token
+//! mergence, fixed-layer top-k), `heatvit-quant` (int8 arithmetic),
+//! `heatvit-data` (synthetic datasets) — but they expose *different*
+//! single-image inference APIs. This crate folds them into one:
 //!
 //! * [`InferenceModel`] — implemented by `VisionTransformer`, `PrunedViT`,
-//!   `StaticPrunedViT`, and the int8 `QuantizedViT` (dense or adaptively
-//!   pruned): classify one image, report per-block token counts and a MAC
-//!   estimate (packed-DSP-equivalent for the int8 backend);
-//! * [`Backend`] / [`BackendKind`] — the type-erased handle over those four
+//!   `StaticPrunedViT`, the training-free `ClsAttnPrunedViT` /
+//!   `TokenMergeViT` / `TopKPrunedViT`, and the int8 `QuantizedViT` (dense
+//!   or adaptively pruned): classify one image, report per-block token
+//!   counts and a MAC estimate (packed-DSP-equivalent for the int8
+//!   backend);
+//! * [`Backend`] / [`BackendKind`] — the type-erased handle over those
 //!   model types, so servers and table-driven harnesses run one
 //!   `Engine<Backend>` whose concrete variant is chosen at runtime
 //!   (iterate [`BackendKind::ALL`] instead of monomorphizing per variant);
@@ -83,4 +86,5 @@ pub use heatvit_nn as nn;
 pub use heatvit_quant as quant;
 pub use heatvit_selector as selector;
 pub use heatvit_tensor as tensor;
+pub use heatvit_tfprune as tfprune;
 pub use heatvit_vit as vit;

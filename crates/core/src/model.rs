@@ -1,10 +1,12 @@
 //! The [`InferenceModel`] trait: one interface over the dense, adaptively
-//! pruned, statically pruned, and int8-quantized ViT variants.
+//! pruned, statically pruned, training-free pruned, and int8-quantized ViT
+//! variants.
 
 use crate::latency::CostProfile;
 use heatvit_quant::QuantizedViT;
 use heatvit_selector::{PruneScratch, PrunedViT, StaticPrunedViT};
 use heatvit_tensor::Tensor;
+use heatvit_tfprune::{ClsAttnPrunedViT, TokenMergeViT, TopKPrunedViT};
 use heatvit_vit::{ViTConfig, VisionTransformer};
 
 /// Result of one image's inference through any model variant.
@@ -23,10 +25,12 @@ pub struct ModelOutput {
 ///
 /// Implemented by [`VisionTransformer`] (dense baseline), [`PrunedViT`]
 /// (adaptive HeatViT pruning), [`StaticPrunedViT`] (input-agnostic pruning
-/// baselines), and [`QuantizedViT`] (the int8 integer pipeline, dense or
-/// adaptively pruned), so the [`crate::Engine`] can benchmark all of them
-/// under a single harness — the comparison setup of paper Figs. 2 and 4
-/// extended with the Section V quantized backend.
+/// baselines), the training-free family ([`ClsAttnPrunedViT`],
+/// [`TokenMergeViT`], [`TopKPrunedViT`] — no learned selector), and
+/// [`QuantizedViT`] (the int8 integer pipeline, dense or adaptively
+/// pruned), so the [`crate::Engine`] can benchmark all of them under a
+/// single harness — the comparison setup of paper Figs. 2 and 4 extended
+/// with the Section V quantized backend and the training-free baselines.
 ///
 /// `Send + Sync` are supertraits: [`infer_one`](InferenceModel::infer_one)
 /// takes `&self`, the sharded engine shares that reference across scoped
@@ -38,7 +42,7 @@ pub struct ModelOutput {
 ///
 /// The trait is object safe: heterogeneous model fleets can be held as
 /// `Box<dyn InferenceModel>`, which implements the trait itself and can be
-/// driven by an [`crate::Engine`] directly. For the workspace's own four
+/// driven by an [`crate::Engine`] directly. For the workspace's own
 /// variants, prefer the allocation-free [`crate::Backend`] enum.
 pub trait InferenceModel: Send + Sync {
     /// Short human-readable variant name for report tables.
@@ -257,6 +261,129 @@ impl InferenceModel for StaticPrunedViT {
 
     /// Exact profile: static pruning is input-agnostic, so the planned
     /// schedule is the schedule every image executes.
+    fn cost_profile(&self) -> CostProfile {
+        let tokens = self.planned_tokens_per_block();
+        let macs = self.macs_for_tokens(&tokens);
+        CostProfile {
+            variant: self.variant().to_string(),
+            config: InferenceModel::config(self).clone(),
+            exact: true,
+            quantized: false,
+            macs,
+            tokens_per_block: tokens,
+        }
+    }
+}
+
+impl InferenceModel for ClsAttnPrunedViT {
+    fn variant(&self) -> &str {
+        Self::VARIANT
+    }
+
+    fn config(&self) -> &ViTConfig {
+        self.backbone().config()
+    }
+
+    /// Runs through the `tf` compartment of [`PruneScratch`] (scoring
+    /// projections, repack buffers, and its own backbone scratch), leaving
+    /// the learned-selector compartments untouched.
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        let inference = self.infer_with(image, &mut scratch.tf);
+        let macs = self.macs(&inference);
+        ModelOutput {
+            logits: inference.logits,
+            tokens_per_block: inference.tokens_per_block,
+            macs,
+        }
+    }
+
+    fn dense_macs(&self) -> u64 {
+        self.backbone().macs()
+    }
+
+    /// Exact profile: *which* tokens survive varies per image, *how many*
+    /// never does, and the scoring overhead is charged into `macs`.
+    fn cost_profile(&self) -> CostProfile {
+        let tokens = self.planned_tokens_per_block();
+        let macs = self.macs_for_tokens(&tokens);
+        CostProfile {
+            variant: self.variant().to_string(),
+            config: InferenceModel::config(self).clone(),
+            exact: true,
+            quantized: false,
+            macs,
+            tokens_per_block: tokens,
+        }
+    }
+}
+
+impl InferenceModel for TokenMergeViT {
+    fn variant(&self) -> &str {
+        Self::VARIANT
+    }
+
+    fn config(&self) -> &ViTConfig {
+        self.backbone().config()
+    }
+
+    /// Runs through the `tf` compartment of [`PruneScratch`], like the
+    /// hard-drop variant it shares its schedule with.
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        let inference = self.infer_with(image, &mut scratch.tf);
+        let macs = self.macs(&inference);
+        ModelOutput {
+            logits: inference.logits,
+            tokens_per_block: inference.tokens_per_block,
+            macs,
+        }
+    }
+
+    fn dense_macs(&self) -> u64 {
+        self.backbone().macs()
+    }
+
+    /// Exact profile at the hard drop's token schedule, plus the charged
+    /// merge (cosine-similarity) overhead.
+    fn cost_profile(&self) -> CostProfile {
+        let tokens = self.planned_tokens_per_block();
+        let macs = self.macs_for_tokens(&tokens);
+        CostProfile {
+            variant: self.variant().to_string(),
+            config: InferenceModel::config(self).clone(),
+            exact: true,
+            quantized: false,
+            macs,
+            tokens_per_block: tokens,
+        }
+    }
+}
+
+impl InferenceModel for TopKPrunedViT {
+    fn variant(&self) -> &str {
+        Self::VARIANT
+    }
+
+    fn config(&self) -> &ViTConfig {
+        self.backbone().config()
+    }
+
+    /// Runs through the `tf` compartment of [`PruneScratch`].
+    fn infer_one(&self, image: &Tensor, scratch: &mut PruneScratch) -> ModelOutput {
+        let inference = self.infer_with(image, &mut scratch.tf);
+        let macs = self.macs(&inference);
+        ModelOutput {
+            logits: inference.logits,
+            tokens_per_block: inference.tokens_per_block,
+            macs,
+        }
+    }
+
+    fn dense_macs(&self) -> u64 {
+        self.backbone().macs()
+    }
+
+    /// Exact profile: the keep counts are literal, so the planned schedule
+    /// is the executed schedule.
     fn cost_profile(&self) -> CostProfile {
         let tokens = self.planned_tokens_per_block();
         let macs = self.macs_for_tokens(&tokens);

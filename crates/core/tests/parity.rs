@@ -8,6 +8,7 @@ use heatvit_data::{Loader, SyntheticConfig, SyntheticDataset};
 use heatvit_quant::{QuantPruneStage, QuantizedViT};
 use heatvit_selector::{PrunedViT, StaticPrunedViT, StaticRule, StaticStage, TokenSelector};
 use heatvit_tensor::Tensor;
+use heatvit_tfprune::{ClsAttnPrunedViT, TfStage, TokenMergeViT, TopKPrunedViT, TopKStage};
 use heatvit_vit::{ViTConfig, VisionTransformer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +42,37 @@ fn static_pruned(rng: &mut StdRng) -> StaticPrunedViT {
         ],
         StaticRule::CliffAttention,
         0,
+    )
+}
+
+fn tf_stages() -> Vec<TfStage> {
+    vec![
+        TfStage {
+            block: 1,
+            keep_ratio: 0.7,
+        },
+        TfStage {
+            block: 3,
+            keep_ratio: 0.6,
+        },
+    ]
+}
+
+fn cls_attn(rng: &mut StdRng) -> ClsAttnPrunedViT {
+    ClsAttnPrunedViT::new(backbone(rng), tf_stages())
+}
+
+fn token_merge(rng: &mut StdRng) -> TokenMergeViT {
+    TokenMergeViT::new(backbone(rng), tf_stages())
+}
+
+fn topk(rng: &mut StdRng) -> TopKPrunedViT {
+    TopKPrunedViT::new(
+        backbone(rng),
+        vec![
+            TopKStage { block: 2, keep: 10 },
+            TopKStage { block: 4, keep: 6 },
+        ],
     )
 }
 
@@ -112,6 +144,33 @@ fn static_pruned_batch_is_bitwise_identical_to_single() {
     assert_batch_matches_single(model, &single, &imgs);
 }
 
+#[test]
+fn cls_attn_batch_is_bitwise_identical_to_single() {
+    let mut rng = StdRng::seed_from_u64(30);
+    let model = cls_attn(&mut rng);
+    let imgs = images(&mut rng, 5);
+    let single: Vec<Tensor> = imgs.iter().map(|im| model.infer(im).logits).collect();
+    assert_batch_matches_single(model, &single, &imgs);
+}
+
+#[test]
+fn token_merge_batch_is_bitwise_identical_to_single() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = token_merge(&mut rng);
+    let imgs = images(&mut rng, 5);
+    let single: Vec<Tensor> = imgs.iter().map(|im| model.infer(im).logits).collect();
+    assert_batch_matches_single(model, &single, &imgs);
+}
+
+#[test]
+fn topk_batch_is_bitwise_identical_to_single() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let model = topk(&mut rng);
+    let imgs = images(&mut rng, 5);
+    let single: Vec<Tensor> = imgs.iter().map(|im| model.infer(im).logits).collect();
+    assert_batch_matches_single(model, &single, &imgs);
+}
+
 /// Asserts that the thread-sharded engine reproduces the sequential
 /// engine's `logits`, `tokens_per_block`, and `macs` bitwise at every
 /// tested worker count — including more workers than images.
@@ -163,6 +222,27 @@ fn parallel_static_pruned_matches_sequential_bitwise() {
     let mut rng = StdRng::seed_from_u64(22);
     let imgs = images(&mut rng, 5);
     assert_parallel_matches_sequential(|| static_pruned(&mut StdRng::seed_from_u64(9)), &imgs);
+}
+
+#[test]
+fn parallel_cls_attn_matches_sequential_bitwise() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let imgs = images(&mut rng, 5);
+    assert_parallel_matches_sequential(|| cls_attn(&mut StdRng::seed_from_u64(30)), &imgs);
+}
+
+#[test]
+fn parallel_token_merge_matches_sequential_bitwise() {
+    let mut rng = StdRng::seed_from_u64(34);
+    let imgs = images(&mut rng, 5);
+    assert_parallel_matches_sequential(|| token_merge(&mut StdRng::seed_from_u64(31)), &imgs);
+}
+
+#[test]
+fn parallel_topk_matches_sequential_bitwise() {
+    let mut rng = StdRng::seed_from_u64(35);
+    let imgs = images(&mut rng, 5);
+    assert_parallel_matches_sequential(|| topk(&mut StdRng::seed_from_u64(32)), &imgs);
 }
 
 #[test]

@@ -11,6 +11,7 @@
 
 use heatvit_quant::QuantScratch;
 use heatvit_tensor::Tensor;
+use heatvit_tfprune::TfScratch;
 use heatvit_vit::InferScratch;
 
 /// Workspace for dense token repacking plus backbone inference.
@@ -25,6 +26,11 @@ pub struct PruneScratch {
     /// Integer-pipeline buffers (used by the `heatvit-quant` backend when it
     /// runs under the same batched engine; unused by the float variants).
     pub quant: QuantScratch,
+    /// Training-free pruning buffers (used by the `heatvit-tfprune` backends
+    /// under the same batched engine; unused by the learned variants). Owns
+    /// its own backbone scratch, so the training-free paths never alias the
+    /// buffers above.
+    pub tf: TfScratch,
     /// Patch-token rows (class token excluded) `[N-1, D]`.
     pub(crate) patches: Tensor,
     /// The class-token row `[1, D]`.

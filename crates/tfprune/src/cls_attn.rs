@@ -1,0 +1,263 @@
+//! Hard-drop CLS-attention pruning (the Adaptive Sparse ViT recipe).
+
+use crate::scoring;
+use crate::scratch::TfScratch;
+use crate::{keep_count, planned_tokens, validate_stages, TfInference, TfStage};
+use heatvit_tensor::Tensor;
+use heatvit_vit::VisionTransformer;
+
+/// A backbone with training-free CLS-attention token pruning: in front of
+/// each configured stage, the class token's attention distribution (from
+/// that block's own `W_q`/`W_k`, computed *before* the block runs) ranks
+/// the patch tokens, and only the top fraction survives.
+///
+/// No parameters beyond the backbone's own — the pruning policy is a pure
+/// function of weights the model already has, so any pretrained dense
+/// checkpoint becomes a pruned variant for free.
+///
+/// `Clone` so a serving deployment can stamp out per-server replicas,
+/// matching the other backend types.
+#[derive(Debug, Clone)]
+pub struct ClsAttnPrunedViT {
+    backbone: VisionTransformer,
+    stages: Vec<TfStage>,
+}
+
+// Serving worker pools own models and move them across threads; a future
+// non-`Send`/`Sync` field must fail to build here rather than at the spawn
+// site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ClsAttnPrunedViT>();
+};
+
+impl ClsAttnPrunedViT {
+    /// Canonical variant label this backend registers in engine and serving
+    /// report tables.
+    pub const VARIANT: &'static str = "cls-attn";
+
+    /// Wraps a backbone with the given ratio stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage is out of range, out of block order, or has a
+    /// ratio outside `(0, 1]`.
+    pub fn new(backbone: VisionTransformer, stages: Vec<TfStage>) -> Self {
+        validate_stages(&stages, backbone.config().depth);
+        Self { backbone, stages }
+    }
+
+    /// The wrapped backbone.
+    pub fn backbone(&self) -> &VisionTransformer {
+        &self.backbone
+    }
+
+    /// The installed pruning stages, in block order.
+    pub fn stages(&self) -> &[TfStage] {
+        &self.stages
+    }
+
+    /// The token count entering each block, computed without running
+    /// inference — *exact*: the keep arithmetic is input-agnostic, so every
+    /// image sees these counts.
+    pub fn planned_tokens_per_block(&self) -> Vec<usize> {
+        planned_tokens(
+            &self.stages,
+            self.backbone.config().depth,
+            self.backbone.config().num_patches(),
+        )
+    }
+
+    /// Inference with CLS-attention pruning and dense repacking.
+    pub fn infer(&self, image: &Tensor) -> TfInference {
+        self.infer_with(image, &mut TfScratch::default())
+    }
+
+    /// [`ClsAttnPrunedViT::infer`] reusing a caller-provided scratch
+    /// workspace (bit-identical results).
+    pub fn infer_with(&self, image: &Tensor, scratch: &mut TfScratch) -> TfInference {
+        let mut tokens = self.backbone.patch_embed().infer(image);
+        let depth = self.backbone.config().depth;
+        let mut tokens_per_block = Vec::with_capacity(depth);
+        let mut stage_iter = self.stages.iter().peekable();
+        for (bi, block) in self.backbone.blocks().iter().enumerate() {
+            if let Some(stage) = stage_iter.peek() {
+                if stage.block == bi {
+                    let k = keep_count(stage.keep_ratio, tokens.dim(0) - 1);
+                    scoring::cls_attention_scores(block, &tokens, scratch);
+                    scoring::select_top_patches(k, scratch);
+                    scoring::repack_hard(&mut tokens, scratch);
+                    stage_iter.next();
+                }
+            }
+            tokens_per_block.push(tokens.dim(0));
+            let (out, _) = block.infer_with(&tokens, None, &mut scratch.vit);
+            tokens = out;
+        }
+        TfInference {
+            logits: self.backbone.classify_tokens_infer(&tokens),
+            tokens_per_block,
+        }
+    }
+
+    /// Predicted class for one image.
+    pub fn predict(&self, image: &Tensor) -> usize {
+        self.infer(image).logits.argmax_rows()[0]
+    }
+
+    /// Multiply–accumulate count of one inference, including the scoring
+    /// overhead the stages spend before each governed block.
+    pub fn macs(&self, inference: &TfInference) -> u64 {
+        self.macs_for_tokens(&inference.tokens_per_block)
+    }
+
+    /// [`ClsAttnPrunedViT::macs`] at an arbitrary per-block token schedule
+    /// (the cost-prediction entry point, typically over
+    /// [`ClsAttnPrunedViT::planned_tokens_per_block`]). Scoring runs on the
+    /// *pre-prune* token count of each stage, and that overhead is charged
+    /// honestly on top of the backbone's own work.
+    pub fn macs_for_tokens(&self, tokens_per_block: &[usize]) -> u64 {
+        let cfg = self.backbone.config();
+        let mut total = self.backbone.patch_embed().macs();
+        for (i, block) in self.backbone.blocks().iter().enumerate() {
+            total += block.macs(tokens_per_block[i]);
+        }
+        total += cfg.embed_dim as u64 * cfg.num_classes as u64;
+        for stage in &self.stages {
+            let pre = if stage.block == 0 {
+                cfg.num_tokens()
+            } else {
+                tokens_per_block[stage.block - 1]
+            };
+            total += scoring::scoring_macs(&self.backbone.blocks()[stage.block], pre, false);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heatvit_vit::ViTConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn backbone(seed: u64) -> (VisionTransformer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = VisionTransformer::new(ViTConfig::micro(4), &mut rng);
+        (b, rng)
+    }
+
+    fn stages() -> Vec<TfStage> {
+        vec![
+            TfStage {
+                block: 1,
+                keep_ratio: 0.7,
+            },
+            TfStage {
+                block: 3,
+                keep_ratio: 0.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn keeps_exactly_the_requested_counts() {
+        let (b, mut rng) = backbone(0);
+        let model = ClsAttnPrunedViT::new(b, stages());
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let out = model.infer(&image);
+        // ceil(0.7·16)=12 then ceil(0.5·12)=6, plus the class token.
+        assert_eq!(out.tokens_per_block, vec![17, 13, 13, 7, 7, 7]);
+    }
+
+    #[test]
+    fn stage_in_front_of_block_zero_is_well_defined() {
+        // Unlike the attention-reuse baselines, the scorer uses the
+        // *upcoming* block's projections, so no fallback rule is needed.
+        let (b, mut rng) = backbone(1);
+        let model = ClsAttnPrunedViT::new(
+            b,
+            vec![TfStage {
+                block: 0,
+                keep_ratio: 0.5,
+            }],
+        );
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        assert_eq!(model.infer(&image).tokens_per_block[0], 9);
+    }
+
+    #[test]
+    fn planned_tokens_match_inference_exactly() {
+        let (b, mut rng) = backbone(2);
+        let model = ClsAttnPrunedViT::new(b, stages());
+        let planned = model.planned_tokens_per_block();
+        for _ in 0..3 {
+            let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+            let out = model.infer(&image);
+            assert_eq!(out.tokens_per_block, planned);
+            assert_eq!(model.macs_for_tokens(&planned), model.macs(&out));
+        }
+    }
+
+    #[test]
+    fn scratch_and_fresh_paths_are_bit_identical() {
+        let (b, mut rng) = backbone(3);
+        let model = ClsAttnPrunedViT::new(b, stages());
+        let image = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let fresh = model.infer(&image);
+        let mut scratch = TfScratch::default();
+        // A warm scratch (second use) must not change a single bit.
+        model.infer_with(&image, &mut scratch);
+        let warm = model.infer_with(&image, &mut scratch);
+        assert_eq!(fresh.logits.data(), warm.logits.data());
+    }
+
+    #[test]
+    fn scoring_overhead_is_charged() {
+        let (b, _) = backbone(4);
+        let dense_macs = b.macs();
+        let unpruned = ClsAttnPrunedViT::new(
+            b,
+            vec![TfStage {
+                block: 2,
+                keep_ratio: 1.0,
+            }],
+        );
+        // Keeping everything still pays for the stage's scoring pass.
+        let planned = unpruned.planned_tokens_per_block();
+        assert!(unpruned.macs_for_tokens(&planned) > dense_macs);
+    }
+
+    #[test]
+    #[should_panic(expected = "block order")]
+    fn stages_must_be_ordered() {
+        let (b, _) = backbone(5);
+        ClsAttnPrunedViT::new(
+            b,
+            vec![
+                TfStage {
+                    block: 4,
+                    keep_ratio: 0.5,
+                },
+                TfStage {
+                    block: 2,
+                    keep_ratio: 0.5,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "keep ratio")]
+    fn ratio_must_be_valid() {
+        let (b, _) = backbone(6);
+        ClsAttnPrunedViT::new(
+            b,
+            vec![TfStage {
+                block: 1,
+                keep_ratio: 0.0,
+            }],
+        );
+    }
+}

@@ -1,5 +1,7 @@
 //! Training hyper-parameters.
 
+use crate::loss::LatencyWeights;
+
 /// Hyper-parameters of one [`Trainer`](crate::Trainer) run.
 ///
 /// The defaults mirror the DeiT fine-tuning recipe scaled down to the µDeiT
@@ -36,6 +38,11 @@ pub struct TrainConfig {
     pub target_keep: Vec<f32>,
     /// Weight `β` of the latency-sparsity penalty (Eq. 20).
     pub sparsity_weight: f32,
+    /// How the penalty's per-selector weights are derived:
+    /// [`LatencyWeights::MacShare`] (hardware-agnostic dense MAC share, the
+    /// default) or [`LatencyWeights::FpgaCycles`] (predicted accelerator
+    /// cycles at the keep-target-implied token schedule).
+    pub latency_weights: LatencyWeights,
     /// Weight `λ` of the decisiveness regularizer inside the sparsity
     /// penalty: a per-token MSE toward the hard decision the keep budget
     /// currently implies (top `⌈target·N⌉` scores → 1, rest → 0). This
@@ -74,6 +81,7 @@ impl Default for TrainConfig {
             distill_alpha: 0.5,
             target_keep: Vec::new(),
             sparsity_weight: 4.0,
+            latency_weights: LatencyWeights::MacShare,
             decisiveness_weight: 1.0,
             train_backbone: false,
             augment_shift: 0,

@@ -32,7 +32,8 @@ mod trainer;
 
 pub use config::TrainConfig;
 pub use loss::{
-    distillation_targets, LatencySparsityLoss, KEEP_PULL_BIAS, THRESHOLD_SURROGATE_TEMP,
+    distillation_targets, LatencySparsityLoss, LatencyWeights, KEEP_PULL_BIAS,
+    THRESHOLD_SURROGATE_TEMP,
 };
 pub use report::{TrainReport, TrainRun};
 pub use schedule::learned_schedule;

@@ -7,9 +7,10 @@
 //! selector sitting in front of many (or expensive) blocks moves on-device
 //! latency more per kept token, so missing its target costs more.
 
+use heatvit_fpga::{FpgaCycleModel, Precision};
 use heatvit_nn::{Tape, Var};
 use heatvit_tensor::Tensor;
-use heatvit_vit::flops::BlockComplexity;
+use heatvit_vit::flops::{BlockComplexity, BlockLayer};
 use heatvit_vit::ViTConfig;
 
 /// Sharpness of the differentiable threshold surrogate: the executed keep
@@ -32,6 +33,42 @@ pub const THRESHOLD_SURROGATE_TEMP: f32 = 0.1;
 /// exceeds `1/(ψ+1)` — with `ψ = 1.5`, tokens kept in at least ~40 % of
 /// images survive thresholding, cancelling the undershoot.
 pub const KEEP_PULL_BIAS: f32 = 1.5;
+
+/// How the per-selector latency weights `w_s` of the Eq. 20 penalty are
+/// derived from the model architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyWeights {
+    /// Weight each selector by the share of dense backbone MACs its
+    /// governed blocks execute (block count × per-block MACs at full
+    /// tokens) — the hardware-agnostic proxy, and the historical default.
+    #[default]
+    MacShare,
+    /// Weight each selector by the predicted accelerator cycles of its
+    /// governed blocks under the default ZCU102 [`FpgaCycleModel`], costed
+    /// *at the keep-target-implied token schedule* (cumulative product of
+    /// the per-stage targets, package token included). Unlike the MAC
+    /// share — which at full tokens is constant per block, reducing to
+    /// governed-block count — this sees tile quantization, pipeline fill,
+    /// and vector-unit work at the token counts each stage will actually
+    /// run, so later selectors (operating on fewer tokens) are relatively
+    /// down-weighted: missing an early stage's target moves real device
+    /// latency more.
+    FpgaCycles,
+}
+
+/// Predicted accelerator cycles of one encoder block at `tokens` tokens on
+/// the default cycle model (float precision — training concerns the float
+/// student).
+fn fpga_block_cycles(config: &ViTConfig, tokens: usize) -> u64 {
+    let model = FpgaCycleModel::default();
+    let mut cycles = 0;
+    for layer in BlockLayer::ALL {
+        cycles += model
+            .gemm_cycles(layer.gemm_shape(config, tokens), Precision::Float)
+            .total();
+    }
+    cycles + model.vector_cycles(config, tokens)
+}
 
 /// The Eq. 20 latency-sparsity penalty, precomputed for one selector layout.
 ///
@@ -69,7 +106,8 @@ pub struct LatencySparsityLoss {
 impl LatencySparsityLoss {
     /// Builds the penalty for selectors at `selector_blocks` (sorted, as
     /// returned by `PrunedViT::selector_blocks`) with one per-stage keep
-    /// target each and the decisiveness weight `λ`.
+    /// target each and the decisiveness weight `λ`, weighting stages by
+    /// dense MAC share ([`LatencyWeights::MacShare`]).
     ///
     /// # Panics
     ///
@@ -81,6 +119,30 @@ impl LatencySparsityLoss {
         selector_blocks: &[usize],
         targets: &[f32],
         decisiveness_weight: f32,
+    ) -> Self {
+        Self::with_latency_weights(
+            config,
+            selector_blocks,
+            targets,
+            decisiveness_weight,
+            LatencyWeights::MacShare,
+        )
+    }
+
+    /// [`LatencySparsityLoss::new`] with an explicit latency-weighting
+    /// mode: [`LatencyWeights::FpgaCycles`] replaces the MAC-share proxy
+    /// with predicted accelerator cycles at the keep-target-implied token
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LatencySparsityLoss::new`].
+    pub fn with_latency_weights(
+        config: &ViTConfig,
+        selector_blocks: &[usize],
+        targets: &[f32],
+        decisiveness_weight: f32,
+        mode: LatencyWeights,
     ) -> Self {
         assert!(
             decisiveness_weight >= 0.0,
@@ -95,6 +157,7 @@ impl LatencySparsityLoss {
             assert!(t > 0.0 && t <= 1.0, "keep targets must be in (0, 1]");
         }
         let mut weights = Vec::with_capacity(selector_blocks.len());
+        let mut cumulative = 1.0f32;
         for (i, &block) in selector_blocks.iter().enumerate() {
             assert!(block < config.depth, "selector block out of range");
             if i + 1 < selector_blocks.len() {
@@ -104,10 +167,25 @@ impl LatencySparsityLoss {
                 );
             }
             let end = selector_blocks.get(i + 1).copied().unwrap_or(config.depth);
-            // Every block runs the same MACs at full tokens, so the
-            // governed share is block-count × the per-block cost.
-            let block_macs = BlockComplexity::new(config, config.num_tokens()).total();
-            weights.push((end - block) as f32 * block_macs as f32);
+            cumulative *= targets[i];
+            let per_block = match mode {
+                // Every block runs the same MACs at full tokens, so the
+                // governed share is block-count × the per-block cost.
+                LatencyWeights::MacShare => {
+                    BlockComplexity::new(config, config.num_tokens()).total() as f32
+                }
+                // Cycles at the token count this stage's blocks will run
+                // once every stage hits its target: the cumulative keep
+                // over the patch tokens, plus class and package tokens
+                // (the `ModelComplexity::with_stage_keep_ratios`
+                // convention).
+                LatencyWeights::FpgaCycles => {
+                    let kept = (cumulative * config.num_patches() as f32).ceil() as usize;
+                    let tokens = kept + 1 + usize::from(cumulative < 1.0);
+                    fpga_block_cycles(config, tokens) as f32
+                }
+            };
+            weights.push((end - block) as f32 * per_block);
         }
         let mean = weights.iter().sum::<f32>() / weights.len().max(1) as f32;
         if mean > 0.0 {
@@ -250,6 +328,54 @@ mod tests {
         assert!(loss.weights()[1] > loss.weights()[0]);
         let mean = loss.weights().iter().sum::<f32>() / 2.0;
         assert!((mean - 1.0).abs() < 1e-6, "weights must be mean-normalized");
+    }
+
+    #[test]
+    fn fpga_cycle_weights_match_mac_share_at_full_keep() {
+        // With all-1.0 targets every stage runs at full tokens, the
+        // per-block cost is constant under both modes, and both normalize
+        // to pure governed-block-count proportions.
+        let cfg = ViTConfig::micro(8);
+        let mac = LatencySparsityLoss::new(&cfg, &[1, 3], &[1.0, 1.0], 0.0);
+        let fpga = LatencySparsityLoss::with_latency_weights(
+            &cfg,
+            &[1, 3],
+            &[1.0, 1.0],
+            0.0,
+            LatencyWeights::FpgaCycles,
+        );
+        for (a, b) in mac.weights().iter().zip(fpga.weights()) {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "full-keep weights diverge: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fpga_cycle_weights_discount_late_selectors_under_pruning() {
+        // At [0.5, 0.5] the second selector's blocks run on a quarter of
+        // the patch tokens; the cycle model sees that (the MAC-share proxy,
+        // costed at full tokens, does not), so the late-to-early weight
+        // ratio must shrink relative to MAC share.
+        let cfg = ViTConfig::micro(8);
+        let mac = LatencySparsityLoss::new(&cfg, &[1, 3], &[0.5, 0.5], 0.0);
+        let fpga = LatencySparsityLoss::with_latency_weights(
+            &cfg,
+            &[1, 3],
+            &[0.5, 0.5],
+            0.0,
+            LatencyWeights::FpgaCycles,
+        );
+        let mac_ratio = mac.weights()[1] / mac.weights()[0];
+        let fpga_ratio = fpga.weights()[1] / fpga.weights()[0];
+        assert!(
+            fpga_ratio < mac_ratio,
+            "fpga ratio {fpga_ratio} must fall below MAC-share ratio {mac_ratio}"
+        );
+        // Still mean-normalized.
+        let mean = fpga.weights().iter().sum::<f32>() / 2.0;
+        assert!((mean - 1.0).abs() < 1e-6);
     }
 
     #[test]

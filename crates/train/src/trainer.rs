@@ -116,11 +116,12 @@ impl Trainer {
                 "teacher/student class counts must match"
             );
         }
-        let sparsity = LatencySparsityLoss::new(
+        let sparsity = LatencySparsityLoss::with_latency_weights(
             model.backbone().config(),
             &selector_blocks,
             &self.config.target_keep,
             self.config.decisiveness_weight,
+            self.config.latency_weights,
         );
 
         let loader = Loader::new(
