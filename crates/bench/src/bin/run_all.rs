@@ -14,8 +14,10 @@
 //! outright (it wins over `--quick`). `--json <path>` additionally writes
 //! the table as a machine-readable report (one object per backend:
 //! images/s sequential and sharded, ms/image, MMACs, MAC speedup, final
-//! tokens, predicted FPGA latency, top-1 agreement) — the committed
-//! `BENCH_run_all.json` at the repo root is produced this way.
+//! tokens, predicted FPGA latency, top-1 agreement, plus a `telemetry`
+//! snapshot of every engine's per-variant counters) — the committed
+//! `BENCH_run_all.json` at the repo root is produced this way, through the
+//! same `json::Emitter` pipeline as `serve_demo`.
 //!
 //! The `fpga-ms` column is the `heatvit-fpga` cycle model's prediction for
 //! one image on the paper's ZCU102 tiled-GEMM geometry — the accelerator
@@ -33,11 +35,13 @@
 //! disagree with dense no more often than the hard drop at the identical
 //! keep rate — all asserted, not just printed.
 
+use heatvit::telemetry::Registry;
 use heatvit::{BackendKind, Engine, InferenceModel, LatencyModel};
-use heatvit_bench::json::{self, JsonObject};
+use heatvit_bench::json::{self, Emitter, JsonObject};
 use heatvit_bench::{build_backend, synthetic_batch};
 use heatvit_fpga::FpgaCycleModel;
 use heatvit_tensor::Tensor;
+use std::sync::Arc;
 
 const DEFAULT_BATCH: usize = 32;
 const QUICK_BATCH: usize = 8;
@@ -96,14 +100,16 @@ fn batch_size() -> usize {
 /// One kind's row: the type-erased backend measured sequentially and
 /// through the 4-thread shard, with batched/single and sharded/sequential
 /// parity asserted before either number is reported.
-fn measure(kind: BackendKind, images: &[Tensor]) -> Row {
+fn measure(kind: BackendKind, images: &[Tensor], registry: &Arc<Registry>) -> Row {
     let model = build_backend(kind);
     let dense_macs = InferenceModel::dense_macs(&model) as f64;
     let fpga_ms = FpgaCycleModel::default()
         .predict(&model.cost_profile())
         .as_secs_f64()
         * 1e3;
-    let engine = Engine::builder(model).build();
+    let engine = Engine::builder(model)
+        .telemetry(Arc::clone(registry))
+        .build();
 
     // Parity gate: every batched row must equal the per-image path bitwise.
     let probe = engine.infer_batch(&images[..4.min(images.len())]);
@@ -125,6 +131,7 @@ fn measure(kind: BackendKind, images: &[Tensor]) -> Row {
     // throughput is worth reporting; it reuses the same model instance.
     let par_engine = Engine::builder(engine.into_model())
         .threads(PAR_THREADS)
+        .telemetry(Arc::clone(registry))
         .build();
     for _ in 0..WARMUP_BATCHES {
         par_engine.infer_batch(images);
@@ -177,11 +184,16 @@ fn main() {
         images.len()
     );
 
+    // One registry spans every measured engine: the embedded telemetry
+    // snapshot carries per-variant batch/image/inference-time counters
+    // alongside the wall-clock table.
+    let registry = Registry::new();
+
     // The table rows ARE the kind registry: adding a backend to
     // `BackendKind::ALL` adds its row here with no further changes.
     let rows: Vec<Row> = BackendKind::ALL
         .into_iter()
-        .map(|kind| measure(kind, &images))
+        .map(|kind| measure(kind, &images, &registry))
         .collect();
     let reference = &rows[0];
     assert_eq!(
@@ -281,30 +293,25 @@ fn main() {
         }
     }
 
-    if let Some(path) = json::path_from_args() {
-        let backends = json::array(rows.iter().map(|r| {
-            JsonObject::new()
-                .str("variant", r.kind.label())
-                .num("images_per_s", r.throughput)
-                .num("images_per_s_par", r.throughput_par)
-                .num("thread_scaling", r.thread_scaling())
-                .num("ms_per_image", r.ms_per_image)
-                .num("mmacs_per_image", r.mmacs)
-                .num("mac_speedup", r.mac_speedup)
-                .num("final_tokens", r.final_tokens)
-                .num("predicted_fpga_ms", r.fpga_ms)
-                .num("top1_agreement_vs_f32", agreement(r, reference))
-                .build()
-        }));
-        let report = JsonObject::new()
-            .str("bench", "run_all")
-            .int("batch", images.len() as u64)
-            .int("par_threads", PAR_THREADS as u64)
-            .int("hardware_threads", cores as u64)
-            .raw("backends", backends)
-            .build();
-        std::fs::write(&path, report + "\n")
-            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
-        println!("\nwrote {}", path.display());
-    }
+    let backends = json::array(rows.iter().map(|r| {
+        JsonObject::new()
+            .str("variant", r.kind.label())
+            .num("images_per_s", r.throughput)
+            .num("images_per_s_par", r.throughput_par)
+            .num("thread_scaling", r.thread_scaling())
+            .num("ms_per_image", r.ms_per_image)
+            .num("mmacs_per_image", r.mmacs)
+            .num("mac_speedup", r.mac_speedup)
+            .num("final_tokens", r.final_tokens)
+            .num("predicted_fpga_ms", r.fpga_ms)
+            .num("top1_agreement_vs_f32", agreement(r, reference))
+            .build()
+    }));
+    Emitter::new("run_all")
+        .int("batch", images.len() as u64)
+        .int("par_threads", PAR_THREADS as u64)
+        .int("hardware_threads", cores as u64)
+        .raw("backends", backends)
+        .metrics("telemetry", &registry.snapshot())
+        .write_if_requested();
 }

@@ -59,16 +59,25 @@
 //! `--json <path>` additionally writes the sweeps as a machine-readable
 //! report (`runs` one object per backend × rate, `slo_runs` one object per
 //! overload × SLO class, `lane_runs` one object per lane count, `open_loop`
-//! one object per rate) — the committed `BENCH_serve.json` at the repo root
-//! is produced this way.
+//! one object per rate, `telemetry` the 2-lane run's registry snapshot) —
+//! the committed `BENCH_serve.json` at the repo root is produced this way,
+//! through the same `json::Emitter` pipeline as `run_all`.
+//!
+//! Every SLO and lane run also asserts the telemetry redesign's honesty
+//! gate — per-class p95 and shed counts read from the registry snapshot
+//! match the printed `ServeReport` table bitwise — and the demo ends by
+//! printing the 2-lane run's Prometheus-style exposition (CI greps it for
+//! nonzero admission totals and the per-lane served lines).
 
+use heatvit::telemetry::{render_prometheus, Registry, Snapshot};
 use heatvit::{
     rank_by_predicted, Backend, BackendKind, CostProfile, Engine, InferenceModel, LatencyModel,
     MeasuredEwma,
 };
-use heatvit_bench::json::{self, JsonObject};
+use heatvit_bench::json::{self, Emitter, JsonObject};
 use heatvit_bench::{build_backend, synthetic_batch};
 use heatvit_fpga::FpgaCycleModel;
+use heatvit_serve::metrics::names;
 use heatvit_serve::{
     InferRequest, LaneCount, Priority, ServeConfig, Server, SloPolicy, SubmitError,
 };
@@ -240,7 +249,8 @@ fn run_load(
 
     // Hard acceptance gates: nothing dropped, every response bit-exact.
     assert_eq!(
-        report.completed, requests as u64,
+        report.completed(),
+        requests as u64,
         "{kind}: dropped requests at {target_rate:.0} img/s"
     );
     for (i, response) in responses.iter().enumerate() {
@@ -410,6 +420,33 @@ fn bucket_error_gate(ewma: &MeasuredEwma, images: &[heatvit_tensor::Tensor]) -> 
     error
 }
 
+/// The redesign's honesty gate, run against live servers: per-class p95
+/// latencies and shed counts read straight from the telemetry snapshot
+/// must match the [`heatvit_serve::ServeReport`] table bitwise — the
+/// report *is* a view over the same registry, so any divergence is a bug.
+fn assert_snapshot_matches_report(snapshot: &Snapshot, report: &heatvit_serve::ServeReport) {
+    for class in [Priority::High, Priority::Normal] {
+        let labels = &[("class", class.label())][..];
+        let c = report.class(class);
+        let (_, p95_ms, _) = snapshot
+            .series(names::CLASS_LATENCY, labels)
+            .map(|s| s.percentiles_ms())
+            .unwrap_or((0.0, 0.0, 0.0));
+        assert_eq!(
+            p95_ms.to_bits(),
+            c.p95_ms().to_bits(),
+            "snapshot p95 diverges from the report table for class {}",
+            class.label()
+        );
+        assert_eq!(
+            snapshot.counter(names::CLASS_SHEDS, labels),
+            c.sheds(),
+            "snapshot shed count diverges from the report table for class {}",
+            class.label()
+        );
+    }
+}
+
 struct SloClassRow {
     factor: f64,
     class: Priority,
@@ -491,22 +528,25 @@ fn run_slo(
     for ticket in tickets {
         ticket.wait();
     }
+    let registry = Arc::clone(server.telemetry());
     let report = server.shutdown();
+    assert_snapshot_matches_report(&registry.snapshot(), &report);
 
     // Accepted-never-dropped still holds with admission in front.
-    assert_eq!(report.completed + shed_at_submit, submitted);
+    assert_eq!(report.completed() + shed_at_submit, submitted);
     assert_eq!(report.sheds(), shed_at_submit);
     let high = report.class(Priority::High);
-    assert_eq!(high.sheds, 0, "High must never be shed ({factor:.1}x)");
+    assert_eq!(high.sheds(), 0, "High must never be shed ({factor:.1}x)");
     assert_eq!(
-        high.deadline_misses, 0,
+        high.deadline_misses(),
+        0,
         "High must never miss its deadline ({factor:.1}x)"
     );
-    assert_eq!(high.degraded, 0, "High stays pinned to the dense level");
+    assert_eq!(high.degraded(), 0, "High stays pinned to the dense level");
     if factor >= 2.0 {
         let normal = report.class(Priority::Normal);
         assert!(
-            normal.degraded > 0,
+            normal.degraded() > 0,
             "overload at {factor:.1}x must degrade Normal down the keep-rate ladder"
         );
     }
@@ -518,14 +558,14 @@ fn run_slo(
             SloClassRow {
                 factor,
                 class,
-                completed: c.completed,
-                p50_ms: c.p50_ms,
-                p95_ms: c.p95_ms,
+                completed: c.completed(),
+                p50_ms: c.p50_ms(),
+                p95_ms: c.p95_ms(),
                 miss_pct: c.miss_rate() * 100.0,
-                sheds: c.sheds,
-                degraded: c.degraded,
-                mean_keep: c.mean_keep,
-                predicted_error_pct: report.predicted_error_pct,
+                sheds: c.sheds(),
+                degraded: c.degraded(),
+                mean_keep: c.mean_keep(),
+                predicted_error_pct: report.predicted_error_pct(),
             }
         })
         .collect()
@@ -536,6 +576,9 @@ struct LaneRun {
     throughput: f64,
     p95_ms: f64,
     report: heatvit_serve::ServeReport,
+    /// The run's telemetry registry, kept alive past shutdown so main can
+    /// print the Prometheus exposition and embed the snapshot in the JSON.
+    registry: Arc<Registry>,
 }
 
 /// Section 4: the mixed float+int8 run at a given lane count. Alternating
@@ -616,28 +659,32 @@ fn run_lanes(
         }
         assert!(response.lane < lanes);
     }
+    let registry = Arc::clone(server.telemetry());
     let report = server.shutdown();
+    assert_snapshot_matches_report(&registry.snapshot(), &report);
     assert_eq!(
-        report.completed, requests as u64,
+        report.completed(),
+        requests as u64,
         "{lanes}-lane run dropped requests"
     );
     assert_eq!(
-        report.level_served,
-        vec![high_count, requests as u64 - high_count],
+        report.level_served(),
+        &[high_count, requests as u64 - high_count][..],
         "deterministic float/int8 split broke at {lanes} lanes"
     );
-    assert_eq!(report.lane_served.iter().sum::<u64>(), requests as u64);
+    assert_eq!(report.lane_served().iter().sum::<u64>(), requests as u64);
     if lanes >= 2 {
         assert!(
-            report.lane_served[1] > 0,
+            report.lane_served()[1] > 0,
             "the int8 home lane must serve traffic"
         );
     }
     LaneRun {
         lanes,
-        throughput: report.throughput,
-        p95_ms: report.p95_ms,
+        throughput: report.throughput(),
+        p95_ms: report.p95_ms(),
         report,
+        registry,
     }
 }
 
@@ -743,14 +790,16 @@ fn run_open_loop(
     let report = server.shutdown();
 
     assert_eq!(
-        report.completed, accepted,
+        report.completed(),
+        accepted,
         "accepted open-loop requests must all be served"
     );
     assert_eq!(accepted + sheds + full, requests as u64);
     let high = report.class(Priority::High);
-    assert_eq!(high.sheds, 0);
+    assert_eq!(high.sheds(), 0);
     assert_eq!(
-        high.completed, high_submitted,
+        high.completed(),
+        high_submitted,
         "every High submission must be accepted and served ({factor:.1}x open loop)"
     );
 
@@ -759,9 +808,9 @@ fn run_open_loop(
         factor,
         target_rate,
         offered_rate,
-        served_rate: report.throughput,
-        p50_ms: report.p50_ms,
-        p95_ms: report.p95_ms,
+        served_rate: report.throughput(),
+        p50_ms: report.p50_ms(),
+        p95_ms: report.p95_ms(),
         accepted,
         sheds,
         full,
@@ -821,15 +870,15 @@ fn main() {
                 kind.label(),
                 result.target_rate,
                 result.offered_rate,
-                r.throughput,
-                r.p50_ms,
-                r.p95_ms,
+                r.throughput(),
+                r.p50_ms(),
+                r.p95_ms(),
                 r.miss_rate() * 100.0,
-                r.mean_batch,
-                r.flushes.max_batch,
-                r.flushes.deadline,
-                r.flushes.idle,
-                r.flushes.shutdown,
+                r.mean_batch(),
+                r.flushes().max_batch,
+                r.flushes().deadline,
+                r.flushes().idle,
+                r.flushes().shutdown,
             );
             json_runs.push(
                 JsonObject::new()
@@ -837,12 +886,12 @@ fn main() {
                     .num("capacity_images_per_s", capacity)
                     .num("target_rate", result.target_rate)
                     .num("offered_rate", result.offered_rate)
-                    .num("served_images_per_s", r.throughput)
-                    .num("p50_ms", r.p50_ms)
-                    .num("p95_ms", r.p95_ms)
+                    .num("served_images_per_s", r.throughput())
+                    .num("p50_ms", r.p50_ms())
+                    .num("p95_ms", r.p95_ms())
                     .num("miss_pct", r.miss_rate() * 100.0)
-                    .num("mean_batch", r.mean_batch)
-                    .num("predicted_error_pct", r.predicted_error_pct)
+                    .num("mean_batch", r.mean_batch())
+                    .num("predicted_error_pct", r.predicted_error_pct())
                     .build(),
             );
         }
@@ -996,14 +1045,14 @@ fn main() {
             run.throughput,
             run.p95_ms,
             run.report.stolen(),
-            run.report.flushes.steal,
+            run.report.flushes().steal,
         );
         for lane in 0..run.report.lanes() {
             println!(
                 "    lane {lane}: served {:>4}  stolen {:>3}  queue-hwm {:>3}",
-                run.report.lane_served[lane],
-                run.report.lane_steals[lane],
-                run.report.lane_queue_hwm[lane],
+                run.report.lane_served()[lane],
+                run.report.lane_steals()[lane],
+                run.report.lane_queue_hwm()[lane],
             );
         }
         json_lanes.push(
@@ -1012,10 +1061,10 @@ fn main() {
                 .num("served_images_per_s", run.throughput)
                 .num("p95_ms", run.p95_ms)
                 .int("stolen", run.report.stolen())
-                .int("steal_flushes", run.report.flushes.steal)
-                .raw("lane_served", int_array(&run.report.lane_served))
-                .raw("lane_steals", int_array(&run.report.lane_steals))
-                .raw("lane_queue_hwm", int_array(&run.report.lane_queue_hwm))
+                .int("steal_flushes", run.report.flushes().steal)
+                .raw("lane_served", int_array(run.report.lane_served()))
+                .raw("lane_steals", int_array(run.report.lane_steals()))
+                .raw("lane_queue_hwm", int_array(run.report.lane_queue_hwm()))
                 .build(),
         );
         lane_results.push(run);
@@ -1044,6 +1093,21 @@ fn main() {
         "  per-backend isolation held: High served by the float level, every tight-budget \
          Normal by the int8 level, at both lane counts (asserted per response)"
     );
+    println!(
+        "  telemetry parity: per-class p95 and shed counts in each run's registry snapshot \
+         match the ServeReport table bitwise (asserted for every SLO and lane run)"
+    );
+
+    // The observability surface itself, from the 2-lane run: serve and
+    // engine metrics in one Prometheus-style exposition. CI greps this
+    // block for nonzero admission totals and the per-lane served lines.
+    let lane_snapshot = lane_results
+        .last()
+        .expect("lane sweep ran")
+        .registry
+        .snapshot();
+    println!("\nprometheus exposition (2-lane mixed-traffic run):");
+    print!("{}", render_prometheus(&lane_snapshot));
 
     // Section 5: the open-loop saturation sweep.
     let open_sweep: &[f64] = if quick() {
@@ -1120,23 +1184,18 @@ fn main() {
          every swept rate (asserted)"
     );
 
-    if let Some(path) = json::path_from_args() {
-        let report = JsonObject::new()
-            .str("bench", "serve_demo")
-            .int("requests_per_run", requests as u64)
-            .int("image_pool", IMAGE_POOL as u64)
-            .int("cores_available", cores as u64)
-            .num("latency_prior_error_pct", prior_err)
-            .num("latency_ewma_error_pct", ewma_err)
-            .num("bucket_admission_error_pct", bucket_error)
-            .num("slo_admission_error_pct", slo_error)
-            .raw("runs", json::array(json_runs))
-            .raw("slo_runs", json::array(json_slo))
-            .raw("lane_runs", json::array(json_lanes))
-            .raw("open_loop", json::array(json_open))
-            .build();
-        std::fs::write(&path, report + "\n")
-            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
-        println!("\nwrote {}", path.display());
-    }
+    Emitter::new("serve_demo")
+        .int("requests_per_run", requests as u64)
+        .int("image_pool", IMAGE_POOL as u64)
+        .int("cores_available", cores as u64)
+        .num("latency_prior_error_pct", prior_err)
+        .num("latency_ewma_error_pct", ewma_err)
+        .num("bucket_admission_error_pct", bucket_error)
+        .num("slo_admission_error_pct", slo_error)
+        .raw("runs", json::array(json_runs))
+        .raw("slo_runs", json::array(json_slo))
+        .raw("lane_runs", json::array(json_lanes))
+        .raw("open_loop", json::array(json_open))
+        .metrics("telemetry", &lane_snapshot)
+        .write_if_requested();
 }

@@ -9,7 +9,7 @@
 
 #![warn(missing_docs)]
 
-pub mod json;
+pub use heatvit::telemetry::json;
 
 use heatvit::{Backend, BackendKind};
 use heatvit_data::{SyntheticConfig, SyntheticDataset};

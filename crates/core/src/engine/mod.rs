@@ -11,14 +11,24 @@ pub use report::{BatchOutput, EngineReport};
 use crate::model::{InferenceModel, ModelOutput};
 use heatvit_data::{Batch, Loader};
 use heatvit_nn::accuracy;
+use heatvit_telemetry::{Counter, Registry};
 use heatvit_tensor::Tensor;
 use pool::ScratchPool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Upper clamp applied when [`ThreadCount::Auto`] resolves: even on very
 /// wide machines the engine never auto-sizes past this many workers per
-/// batch (micro-model shards stop amortizing thread-spawn cost long before;
-/// an explicit [`ThreadCount::Fixed`] can still go higher deliberately).
+/// batch, because an engine worker is *cheap* — a scoped thread that lives
+/// for one batch, owns one scratch, and runs pure compute over a disjoint
+/// index range, so dozens of them amortize fine whenever the batch is wide
+/// enough. Contrast `heatvit-serve`'s `MAX_AUTO_LANES` (8): a serving lane
+/// is a long-lived batcher/executor OS thread with its own bounded queue,
+/// condvars, and steal scanning, so auto-sizing caps lanes an order of
+/// magnitude lower than batch workers. Micro-model shards stop amortizing
+/// thread-spawn cost long before 64 anyway; an explicit
+/// [`ThreadCount::Fixed`] can still go higher deliberately. The two caps
+/// are pinned together in `crates/serve/tests/telemetry_parity.rs`.
 pub const MAX_AUTO_THREADS: usize = 64;
 
 /// Worker-count policy of an [`EngineConfig`].
@@ -126,6 +136,7 @@ pub struct EngineBuilder<M: InferenceModel> {
     model: M,
     config: EngineConfig,
     retention: Option<usize>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl<M: InferenceModel> EngineBuilder<M> {
@@ -135,6 +146,7 @@ impl<M: InferenceModel> EngineBuilder<M> {
             model,
             config: EngineConfig::default(),
             retention: None,
+            registry: None,
         }
     }
 
@@ -178,6 +190,17 @@ impl<M: InferenceModel> EngineBuilder<M> {
         self
     }
 
+    /// Records this engine's telemetry — per-variant batch/image/timing
+    /// counters and scratch-pool checkout/miss counts — into `registry`
+    /// instead of a private one, so several engines (e.g. the service
+    /// levels of one server) expose through a single snapshot. Metrics are
+    /// labeled `variant=<model.variant()>`; two engines over the same
+    /// variant in one registry share (aggregate into) the same counters.
+    pub fn telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Builds the engine, resolving [`ThreadCount::Auto`] against this
     /// machine.
     ///
@@ -186,13 +209,79 @@ impl<M: InferenceModel> EngineBuilder<M> {
     /// Panics if the configuration fixes a zero thread count.
     pub fn build(self) -> Engine<M> {
         let threads = self.config.threads.resolve();
+        let registry = self.registry.unwrap_or_default();
+        let metrics = EngineMetrics::new(registry, self.model.variant());
         Engine {
             model: self.model,
             config: self.config,
             threads,
             retention: self.retention,
             pool: ScratchPool::default(),
+            metrics,
         }
+    }
+}
+
+/// The engine's per-variant instrumentation: lock-free counter handles
+/// into its [`Registry`]. Purely observational — recording never changes
+/// inference arithmetic or scheduling.
+#[derive(Debug)]
+struct EngineMetrics {
+    registry: Arc<Registry>,
+    batches: Arc<Counter>,
+    images: Arc<Counter>,
+    inference_us: Arc<Counter>,
+    scratch_checkouts: Arc<Counter>,
+    scratch_misses: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(registry: Arc<Registry>, variant: &str) -> Self {
+        let labels = &[("variant", variant)][..];
+        let batches = registry.counter(
+            "heatvit_engine_batches_total",
+            labels,
+            "Batches executed per backend variant.",
+        );
+        let images = registry.counter(
+            "heatvit_engine_images_total",
+            labels,
+            "Images inferred per backend variant.",
+        );
+        let inference_us = registry.counter(
+            "heatvit_engine_inference_us_total",
+            labels,
+            "Wall-clock microseconds spent inside batch inference per backend variant.",
+        );
+        let scratch_checkouts = registry.counter(
+            "heatvit_engine_scratch_checkouts_total",
+            labels,
+            "Scratch workspaces checked out of the warm pool.",
+        );
+        let scratch_misses = registry.counter(
+            "heatvit_engine_scratch_misses_total",
+            labels,
+            "Scratch checkouts that had to build a fresh workspace (pool ran dry).",
+        );
+        Self {
+            registry,
+            batches,
+            images,
+            inference_us,
+            scratch_checkouts,
+            scratch_misses,
+        }
+    }
+
+    fn record_checkout(&self, scratches: usize, misses: usize) {
+        self.scratch_checkouts.add(scratches as u64);
+        self.scratch_misses.add(misses as u64);
+    }
+
+    fn record_batch(&self, images: usize, elapsed: Duration) {
+        self.batches.inc();
+        self.images.add(images as u64);
+        self.inference_us.add(elapsed.as_micros() as u64);
     }
 }
 
@@ -248,6 +337,9 @@ pub struct Engine<M: InferenceModel> {
     /// Warm scratch workspaces, checked out per batch
     /// ([`Engine::scratch_retention`] retained).
     pool: ScratchPool,
+    /// Per-variant counters ([`EngineBuilder::telemetry`], or a private
+    /// registry by default).
+    metrics: EngineMetrics,
 }
 
 impl<M: InferenceModel> Engine<M> {
@@ -310,6 +402,14 @@ impl<M: InferenceModel> Engine<M> {
         self.threads = threads;
     }
 
+    /// The registry this engine's telemetry records into (the one passed
+    /// to [`EngineBuilder::telemetry`], or the engine's own private
+    /// registry). Snapshot it to read the per-variant batch/image/timing
+    /// counters and scratch-pool checkout/miss counts.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
+    }
+
     /// The wrapped model.
     pub fn model(&self) -> &M {
         &self.model
@@ -327,9 +427,12 @@ impl<M: InferenceModel> Engine<M> {
 
     /// Classifies one image through a checked-out scratch workspace.
     pub fn infer_one(&self, image: &Tensor) -> ModelOutput {
-        let mut scratches = self.pool.checkout(1);
+        let start = Instant::now();
+        let (mut scratches, misses) = self.pool.checkout(1);
+        self.metrics.record_checkout(1, misses);
         let out = self.model.infer_one(image, &mut scratches[0]);
         self.pool.checkin(scratches, self.scratch_retention());
+        self.metrics.record_batch(1, start.elapsed());
         out
     }
 
@@ -366,7 +469,8 @@ impl<M: InferenceModel> Engine<M> {
         let mut tokens_per_block: Vec<Vec<usize>> = vec![Vec::new(); batch];
         let mut macs = vec![0u64; batch];
         let workers = self.threads.min(batch).max(1);
-        let mut scratches = self.pool.checkout(workers);
+        let (mut scratches, misses) = self.pool.checkout(workers);
+        self.metrics.record_checkout(workers, misses);
         if workers == 1 {
             parallel::run_shard(
                 &self.model,
@@ -389,11 +493,13 @@ impl<M: InferenceModel> Engine<M> {
             );
         }
         self.pool.checkin(scratches, self.scratch_retention());
+        let elapsed = start.elapsed();
+        self.metrics.record_batch(batch, elapsed);
         BatchOutput {
             logits: Tensor::from_vec(logits_data, &[batch, classes]),
             tokens_per_block,
             macs,
-            elapsed: start.elapsed(),
+            elapsed,
         }
     }
 
@@ -527,6 +633,41 @@ mod tests {
             .scratch_retention(1)
             .build();
         assert_eq!(engine.scratch_retention(), 4);
+    }
+
+    #[test]
+    fn engine_telemetry_counts_batches_and_scratch_misses() {
+        use heatvit_vit::{ViTConfig, VisionTransformer};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VisionTransformer::new(ViTConfig::test_tiny(2), &mut rng);
+        let registry = Registry::new();
+        let engine = Engine::builder(model)
+            .threads(2)
+            .telemetry(Arc::clone(&registry))
+            .build();
+        let images: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng))
+            .collect();
+        engine.infer_batch(&images);
+        engine.infer_batch(&images);
+        let labels = &[("variant", "dense")][..];
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("heatvit_engine_batches_total", labels), 2);
+        assert_eq!(snap.counter("heatvit_engine_images_total", labels), 6);
+        // 2 workers per batch; the first batch builds both scratches
+        // fresh, the second reuses the retained pair.
+        assert_eq!(
+            snap.counter("heatvit_engine_scratch_checkouts_total", labels),
+            4
+        );
+        assert_eq!(
+            snap.counter("heatvit_engine_scratch_misses_total", labels),
+            2
+        );
+        assert!(snap.counter("heatvit_engine_inference_us_total", labels) > 0);
+        // The engine's accessor exposes the same registry.
+        assert!(Arc::ptr_eq(engine.telemetry(), &registry));
     }
 
     #[test]

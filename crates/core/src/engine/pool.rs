@@ -32,16 +32,20 @@ pub(crate) struct ScratchPool {
 
 impl ScratchPool {
     /// Checks out exactly `n` scratches: warm ones first, freshly built
-    /// defaults for the remainder.
-    pub(crate) fn checkout(&self, n: usize) -> Vec<PruneScratch> {
+    /// defaults for the remainder. Also reports how many had to be built
+    /// fresh (the pool-miss count telemetry records — a steady-state
+    /// nonzero rate means the retention cap is too small for the
+    /// concurrency actually seen).
+    pub(crate) fn checkout(&self, n: usize) -> (Vec<PruneScratch>, usize) {
         let mut out = {
             let mut free = self.free.lock().expect("scratch pool poisoned");
             let take = free.len().min(n);
             let start = free.len() - take;
             free.split_off(start)
         };
+        let misses = n - out.len();
         out.resize_with(n, PruneScratch::default);
-        out
+        (out, misses)
     }
 
     /// Returns scratches to the free list, retaining at most `max_idle`
@@ -70,28 +74,34 @@ mod tests {
     #[test]
     fn checkout_builds_fresh_scratches_when_empty() {
         let pool = ScratchPool::default();
-        assert_eq!(pool.checkout(3).len(), 3);
+        let (scratches, misses) = pool.checkout(3);
+        assert_eq!(scratches.len(), 3);
+        assert_eq!(misses, 3);
         assert_eq!(pool.idle(), 0);
     }
 
     #[test]
     fn checkin_retains_up_to_the_cap() {
         let pool = ScratchPool::default();
-        let scratches = pool.checkout(4);
+        let (scratches, _) = pool.checkout(4);
         pool.checkin(scratches, 2);
         assert_eq!(pool.idle(), 2);
         // A later checkout reuses the retained pair and builds the rest.
-        assert_eq!(pool.checkout(3).len(), 3);
+        let (scratches, misses) = pool.checkout(3);
+        assert_eq!(scratches.len(), 3);
+        assert_eq!(misses, 1);
         assert_eq!(pool.idle(), 0);
     }
 
     #[test]
     fn checkout_drains_warm_scratches_before_building() {
         let pool = ScratchPool::default();
-        pool.checkin(pool.checkout(1), 4);
+        pool.checkin(pool.checkout(1).0, 4);
         assert_eq!(pool.idle(), 1);
         // The warm scratch is reused (idle drops to 0), one fresh is built.
-        pool.checkin(pool.checkout(2), 4);
+        let (scratches, misses) = pool.checkout(2);
+        assert_eq!(misses, 1);
+        pool.checkin(scratches, 4);
         assert_eq!(pool.idle(), 2);
     }
 }

@@ -85,6 +85,7 @@ pub use heatvit_data as data;
 pub use heatvit_nn as nn;
 pub use heatvit_quant as quant;
 pub use heatvit_selector as selector;
+pub use heatvit_telemetry as telemetry;
 pub use heatvit_tensor as tensor;
 pub use heatvit_tfprune as tfprune;
 pub use heatvit_vit as vit;

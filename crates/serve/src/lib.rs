@@ -24,11 +24,17 @@
 //!   serializing on one batcher), and idle lanes *steal* surplus backlog
 //!   from the deepest lane ([`StealPolicy`], flushes tagged
 //!   [`FlushReason::Steal`]);
-//! * [`ServeReport`] — p50/p95/max latency, batch-size histogram,
-//!   per-policy flush counts ([`FlushCounts`]), deadline misses,
-//!   throughput, per-SLO-class rows ([`ClassReport`]), per-lane
-//!   served/stolen counts and queue-depth high-water marks, and the
-//!   latency model's predicted-vs-measured error;
+//! * telemetry — every observation lands lock-free in a
+//!   `heatvit::telemetry` [`Registry`](heatvit::telemetry::Registry)
+//!   ([`metrics::names`] is the stable name contract) with per-request
+//!   spans in a bounded trace ring; [`ServeReport`] — p50/p95/max latency,
+//!   batch-size histogram, per-policy flush counts ([`FlushCounts`]),
+//!   deadline misses, throughput, per-SLO-class rows ([`ClassReport`]),
+//!   per-lane served/stolen counts and queue-depth high-water marks, and
+//!   the latency model's predicted-vs-measured error — is a *view*
+//!   materialized from a registry snapshot
+//!   ([`ServeReport::from_snapshot`]), and the same snapshot feeds the
+//!   Prometheus-style and JSON expositions;
 //! * SLO-aware admission — [`Server::start_tiered`] stacks service levels
 //!   (most accurate first) behind one queue; a [`heatvit::LatencyModel`]
 //!   predicts each request's completion at admission, [`Priority::High`]
@@ -71,16 +77,19 @@
 //!     assert_eq!(response.logits.dims(), &[1, 2]);
 //! }
 //! let report = server.shutdown();
-//! assert_eq!(report.completed, 4);
-//! assert!(report.flushes.total() >= 1);
+//! assert_eq!(report.completed(), 4);
+//! assert!(report.flushes().total() >= 1);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 mod report;
 mod request;
 mod server;
 
+#[doc(hidden)]
+pub use report::Stats;
 pub use report::{ClassReport, FlushCounts, FlushReason, ServeReport, MAX_LATENCY_SAMPLES};
 pub use request::{InferRequest, InferResponse, Priority, SubmitError, Ticket};
 pub use server::{

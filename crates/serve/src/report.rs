@@ -1,9 +1,18 @@
-//! Serving telemetry: per-flush accounting and the aggregate
-//! [`ServeReport`] (latency percentiles, batch-size histogram, deadline
-//! misses, flush-policy counts, throughput, per-SLO-class and per-lane
-//! breakdowns, and predicted-vs-measured latency error).
+//! The aggregate [`ServeReport`] (latency percentiles, batch-size
+//! histogram, deadline misses, flush-policy counts, throughput,
+//! per-SLO-class and per-lane breakdowns, and predicted-vs-measured
+//! latency error) — materialized as a *view* over a telemetry registry
+//! [`Snapshot`] via [`ServeReport::from_snapshot`].
+//!
+//! The legacy [`Stats`] accumulator that used to sit behind a mutex on the
+//! request path survives here as the *replay reference*: it is no longer
+//! on any live path, but `crates/serve/tests/telemetry_parity.rs` replays
+//! a recorded request trace through it and asserts the snapshot-derived
+//! report is bitwise identical (wall-clock fields excluded).
 
+use crate::metrics::names;
 use crate::request::Priority;
+use heatvit::telemetry::{MetricValue, Snapshot};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -37,6 +46,47 @@ pub struct FlushCounts {
     pub shutdown: u64,
     /// Batches executed by a lane that stole them from another lane.
     pub steal: u64,
+}
+
+impl FlushReason {
+    /// Every reason, in declaration order — the index order of the
+    /// `heatvit_serve_flush_total` counter family.
+    pub const ALL: [FlushReason; 5] = [
+        FlushReason::MaxBatch,
+        FlushReason::Deadline,
+        FlushReason::Idle,
+        FlushReason::Shutdown,
+        FlushReason::Steal,
+    ];
+
+    /// Stable metric-label string of this reason (the `reason` label of
+    /// `heatvit_serve_flush_total` and the tag on trace batch spans).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushReason::MaxBatch => "max_batch",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Idle => "idle",
+            FlushReason::Shutdown => "shutdown",
+            FlushReason::Steal => "steal",
+        }
+    }
+
+    /// Position in [`FlushReason::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            FlushReason::MaxBatch => 0,
+            FlushReason::Deadline => 1,
+            FlushReason::Idle => 2,
+            FlushReason::Shutdown => 3,
+            FlushReason::Steal => 4,
+        }
+    }
+
+    /// The reason carrying `label`, if it names one (inverse of
+    /// [`FlushReason::label`] — how a trace replay maps span tags back).
+    pub fn from_label(label: &str) -> Option<FlushReason> {
+        FlushReason::ALL.into_iter().find(|r| r.label() == label)
+    }
 }
 
 impl FlushCounts {
@@ -137,11 +187,14 @@ pub(crate) struct ClassStats {
     keep_sum: f64,
 }
 
-/// Running accumulator behind [`ServeReport`]. One per server, updated
-/// under its own lock per flushed batch (never inside the compute path;
-/// the batcher only records plain arithmetic under it).
+/// The legacy locked accumulator that used to sit behind every
+/// [`ServeReport`] — retained (off every live path) as the replay
+/// reference for the telemetry redesign: the parity test feeds a recorded
+/// request trace through it and asserts the snapshot-derived report
+/// matches bitwise. Not part of the supported API surface.
+#[doc(hidden)]
 #[derive(Debug)]
-pub(crate) struct Stats {
+pub struct Stats {
     latencies: LatencySamples,
     completed: u64,
     deadline_misses: u64,
@@ -164,7 +217,7 @@ pub(crate) struct Stats {
 }
 
 impl Stats {
-    pub(crate) fn new(levels: usize, lanes: usize) -> Self {
+    pub fn new(levels: usize, lanes: usize) -> Self {
         Self {
             latencies: LatencySamples::default(),
             completed: 0,
@@ -182,13 +235,7 @@ impl Stats {
         }
     }
 
-    pub(crate) fn record_batch(
-        &mut self,
-        size: usize,
-        reason: FlushReason,
-        done: Instant,
-        lane: usize,
-    ) {
+    pub fn record_batch(&mut self, size: usize, reason: FlushReason, done: Instant, lane: usize) {
         self.flushes.bump(reason);
         *self.batch_sizes.entry(size).or_insert(0) += 1;
         if reason == FlushReason::Steal {
@@ -200,13 +247,13 @@ impl Stats {
         self.last_done = Some(done);
     }
 
-    pub(crate) fn record_first_submit(&mut self, at: Instant) {
+    pub fn record_first_submit(&mut self, at: Instant) {
         if self.first_start.is_none() {
             self.first_start = Some(at);
         }
     }
 
-    pub(crate) fn record_response(
+    pub fn record_response(
         &mut self,
         latency: Duration,
         missed: bool,
@@ -234,13 +281,13 @@ impl Stats {
         self.lane_served[lane] += 1;
     }
 
-    pub(crate) fn record_shed(&mut self, class: Priority) {
+    pub fn record_shed(&mut self, class: Priority) {
         self.classes[class.index()].sheds += 1;
     }
 
     /// One warmed-up batch execution's relative prediction error
     /// (`|predicted − measured| / measured`).
-    pub(crate) fn record_prediction_error(&mut self, predicted: Duration, measured: Duration) {
+    pub fn record_prediction_error(&mut self, predicted: Duration, measured: Duration) {
         if measured.is_zero() {
             return;
         }
@@ -249,7 +296,8 @@ impl Stats {
         self.error_batches += 1;
     }
 
-    pub(crate) fn report(&self) -> ServeReport {
+    #[allow(deprecated)]
+    pub fn report(&self) -> ServeReport {
         let completed = self.completed;
         let window = match (self.first_start, self.last_done) {
             (Some(start), Some(done)) => done.duration_since(start),
@@ -322,33 +370,93 @@ fn percentile_us(sorted: &[u64], q: f64) -> u64 {
 }
 
 /// Per-SLO-class slice of a [`ServeReport`].
+///
+/// Reports are views materialized from a telemetry snapshot; read through
+/// the accessor methods. The public fields remain as deprecated
+/// compatibility shims.
 #[derive(Debug, Clone, Copy)]
 pub struct ClassReport {
     /// The SLO class this row describes.
+    #[deprecated(note = "use `ClassReport::class()`")]
     pub class: Priority,
     /// Requests of this class resolved.
+    #[deprecated(note = "use `ClassReport::completed()`")]
     pub completed: u64,
     /// Responses that resolved after their deadline.
+    #[deprecated(note = "use `ClassReport::deadline_misses()`")]
     pub deadline_misses: u64,
     /// Submissions refused with [`crate::SubmitError::Shed`] (admission
     /// predicted a miss at every service level).
+    #[deprecated(note = "use `ClassReport::sheds()`")]
     pub sheds: u64,
     /// Requests served at a degraded level (level index > 0: a cheaper
     /// keep-rate schedule or backend than the class's best).
+    #[deprecated(note = "use `ClassReport::degraded()`")]
     pub degraded: u64,
     /// Median latency, milliseconds.
+    #[deprecated(note = "use `ClassReport::p50_ms()`")]
     pub p50_ms: f64,
     /// 95th-percentile latency, milliseconds.
+    #[deprecated(note = "use `ClassReport::p95_ms()`")]
     pub p95_ms: f64,
     /// Worst latency, milliseconds (exact).
+    #[deprecated(note = "use `ClassReport::max_ms()`")]
     pub max_ms: f64,
     /// Mean accuracy proxy of the levels that served this class: the mean
     /// fraction of tokens kept relative to dense (1.0 = full accuracy
     /// budget; lower = degraded under load).
+    #[deprecated(note = "use `ClassReport::mean_keep()`")]
     pub mean_keep: f64,
 }
 
+#[allow(deprecated)]
 impl ClassReport {
+    /// The SLO class this row describes.
+    pub fn class(&self) -> Priority {
+        self.class
+    }
+
+    /// Requests of this class resolved.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Responses that resolved after their deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// Submissions refused with [`crate::SubmitError::Shed`] (admission
+    /// predicted a miss at every service level).
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Requests served at a degraded level (level index > 0).
+    pub fn degraded(&self) -> u64 {
+        self.degraded
+    }
+
+    /// Median latency, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.p50_ms
+    }
+
+    /// 95th-percentile latency, milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.p95_ms
+    }
+
+    /// Worst latency, milliseconds (exact).
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// Mean accuracy proxy of the levels that served this class.
+    pub fn mean_keep(&self) -> f64 {
+        self.mean_keep
+    }
+
     /// Fraction of completed requests of this class that missed their
     /// deadline.
     pub fn miss_rate(&self) -> f64 {
@@ -361,54 +469,268 @@ impl ClassReport {
 }
 
 /// Aggregate statistics of everything a [`crate::Server`] has served.
+///
+/// A report is a *view* materialized from the server's telemetry registry
+/// ([`ServeReport::from_snapshot`]); read through the accessor methods.
+/// The public fields remain as deprecated compatibility shims for code
+/// written against the pre-telemetry report.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// Requests resolved.
+    #[deprecated(note = "use `ServeReport::completed()`")]
     pub completed: u64,
     /// Batches flushed.
+    #[deprecated(note = "use `ServeReport::batches()`")]
     pub batches: u64,
     /// Responses that resolved after their request's deadline.
+    #[deprecated(note = "use `ServeReport::deadline_misses()`")]
     pub deadline_misses: u64,
     /// Flush counts per policy.
+    #[deprecated(note = "use `ServeReport::flushes()`")]
     pub flushes: FlushCounts,
     /// `(batch size, count)` pairs in ascending batch-size order.
+    #[deprecated(note = "use `ServeReport::batch_histogram()`")]
     pub batch_histogram: Vec<(usize, u64)>,
     /// Mean formed-batch size.
+    #[deprecated(note = "use `ServeReport::mean_batch()`")]
     pub mean_batch: f64,
     /// Median request latency (submit → response), milliseconds. Exact up
     /// to [`MAX_LATENCY_SAMPLES`] requests, computed over a deterministic
     /// even-spread sample beyond that.
+    #[deprecated(note = "use `ServeReport::p50_ms()`")]
     pub p50_ms: f64,
     /// 95th-percentile request latency, milliseconds (nearest-rank; same
     /// sampling bound as `p50_ms`).
+    #[deprecated(note = "use `ServeReport::p95_ms()`")]
     pub p95_ms: f64,
     /// Worst request latency, milliseconds (always exact).
+    #[deprecated(note = "use `ServeReport::max_ms()`")]
     pub max_ms: f64,
     /// Completed requests per second over the serving window (first
     /// submission to last resolved batch).
+    #[deprecated(note = "use `ServeReport::throughput()`")]
     pub throughput: f64,
     /// Per-SLO-class breakdown, [`Priority::High`] first.
+    #[deprecated(note = "use `ServeReport::classes()` or `ServeReport::class()`")]
     pub classes: [ClassReport; 2],
     /// Requests served per service level (index 0 = the most accurate
     /// level; a single-backend server has one entry).
+    #[deprecated(note = "use `ServeReport::level_served()`")]
     pub level_served: Vec<u64>,
     /// Requests served per executing lane (stolen batches count for the
     /// thief — this is who did the work, `level_served` is what model ran).
+    #[deprecated(note = "use `ServeReport::lane_served()`")]
     pub lane_served: Vec<u64>,
     /// Requests each lane executed out of batches it stole from another
     /// lane's queue (a subset of `lane_served`).
+    #[deprecated(note = "use `ServeReport::lane_steals()`")]
     pub lane_steals: Vec<u64>,
     /// Highest queue depth each lane ever reached (its backlog high-water
     /// mark against [`crate::ServeConfig::queue_capacity`]).
+    #[deprecated(note = "use `ServeReport::lane_queue_hwm()`")]
     pub lane_queue_hwm: Vec<u64>,
     /// Mean `|predicted − measured| / measured` batch execution-time error
     /// of the server's latency model, percent, over warmed-up batches
     /// (each level's first batch is excluded as model cold start). `NaN`
     /// until a warmed-up batch completes.
+    #[deprecated(note = "use `ServeReport::predicted_error_pct()`")]
     pub predicted_error_pct: f64,
 }
 
+#[allow(deprecated)]
 impl ServeReport {
+    /// Materializes a report from a telemetry registry snapshot — the one
+    /// way live reports are built. Every column is read back from the
+    /// `heatvit_serve_*` metric families (see [`crate::metrics::names`]);
+    /// the parity test asserts the result is bitwise identical to the
+    /// legacy locked-accumulator path on a replayed request trace
+    /// (wall-clock fields excluded).
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let counter_family = |name: &str, key: &str| -> Vec<u64> {
+            snapshot
+                .family_by(name, key)
+                .into_iter()
+                .map(|(_, m)| match m.value {
+                    MetricValue::Counter(v) => v,
+                    _ => 0,
+                })
+                .collect()
+        };
+        let flushes = FlushCounts {
+            max_batch: snapshot.counter(names::FLUSH, &[("reason", "max_batch")]),
+            deadline: snapshot.counter(names::FLUSH, &[("reason", "deadline")]),
+            idle: snapshot.counter(names::FLUSH, &[("reason", "idle")]),
+            shutdown: snapshot.counter(names::FLUSH, &[("reason", "shutdown")]),
+            steal: snapshot.counter(names::FLUSH, &[("reason", "steal")]),
+        };
+        let batch_histogram: Vec<(usize, u64)> = snapshot
+            .family_by(names::BATCH_SIZE, "size")
+            .into_iter()
+            .filter_map(|(size, m)| match m.value {
+                MetricValue::Counter(n) if n > 0 => Some((size, n)),
+                _ => None,
+            })
+            .collect();
+        let total_in_batches: u64 = batch_histogram.iter().map(|(s, n)| (*s as u64) * n).sum();
+        let percentiles = |name: &str, labels: &[(&str, &str)]| {
+            snapshot
+                .series(name, labels)
+                .map(|s| s.percentiles_ms())
+                .unwrap_or((0.0, 0.0, 0.0))
+        };
+        let (p50_ms, p95_ms, max_ms) = percentiles(names::LATENCY, &[]);
+        let classes = [Priority::High, Priority::Normal].map(|class| {
+            let labels = &[("class", class.label())][..];
+            let completed = snapshot.counter(names::CLASS_COMPLETED, labels);
+            let (p50_ms, p95_ms, max_ms) = percentiles(names::CLASS_LATENCY, labels);
+            ClassReport {
+                class,
+                completed,
+                deadline_misses: snapshot.counter(names::CLASS_MISSES, labels),
+                sheds: snapshot.counter(names::CLASS_SHEDS, labels),
+                degraded: snapshot.counter(names::CLASS_DEGRADED, labels),
+                p50_ms,
+                p95_ms,
+                max_ms,
+                mean_keep: if completed == 0 {
+                    0.0
+                } else {
+                    snapshot.float_counter(names::CLASS_KEEP_SUM, labels) / completed as f64
+                },
+            }
+        });
+        let completed = snapshot.counter(names::COMPLETED, &[]);
+        // Window gauges hold µs offsets + 1 (0 = unset); the +1 cancels in
+        // the subtraction.
+        let first = snapshot.gauge(names::WINDOW_FIRST_US, &[]);
+        let last = snapshot.gauge(names::WINDOW_LAST_US, &[]);
+        let window_us = if first == 0 || last == 0 {
+            0
+        } else {
+            last.saturating_sub(first)
+        };
+        let error_batches = snapshot.counter(names::PREDICTION_BATCHES, &[]);
+        ServeReport {
+            completed,
+            batches: flushes.total(),
+            deadline_misses: snapshot.counter(names::DEADLINE_MISSES, &[]),
+            flushes,
+            batch_histogram,
+            mean_batch: if flushes.total() == 0 {
+                0.0
+            } else {
+                total_in_batches as f64 / flushes.total() as f64
+            },
+            p50_ms,
+            p95_ms,
+            max_ms,
+            throughput: if window_us == 0 {
+                0.0
+            } else {
+                completed as f64 / (window_us as f64 / 1e6)
+            },
+            classes,
+            level_served: counter_family(names::LEVEL_SERVED, "level"),
+            lane_served: counter_family(names::LANE_SERVED, "lane"),
+            lane_steals: counter_family(names::LANE_STEALS, "lane"),
+            lane_queue_hwm: snapshot
+                .family_by(names::LANE_QUEUE_HWM, "lane")
+                .into_iter()
+                .map(|(_, m)| match m.value {
+                    MetricValue::Gauge(v) => v,
+                    _ => 0,
+                })
+                .collect(),
+            predicted_error_pct: if error_batches == 0 {
+                f64::NAN
+            } else {
+                100.0 * snapshot.float_counter(names::PREDICTION_ERROR_SUM, &[])
+                    / error_batches as f64
+            },
+        }
+    }
+
+    /// Requests resolved.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Batches flushed.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Responses that resolved after their request's deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// Flush counts per policy.
+    pub fn flushes(&self) -> FlushCounts {
+        self.flushes
+    }
+
+    /// `(batch size, count)` pairs in ascending batch-size order.
+    pub fn batch_histogram(&self) -> &[(usize, u64)] {
+        &self.batch_histogram
+    }
+
+    /// Mean formed-batch size.
+    pub fn mean_batch(&self) -> f64 {
+        self.mean_batch
+    }
+
+    /// Median request latency (submit → response), milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.p50_ms
+    }
+
+    /// 95th-percentile request latency, milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.p95_ms
+    }
+
+    /// Worst request latency, milliseconds (always exact).
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// Completed requests per second over the serving window.
+    pub fn throughput(&self) -> f64 {
+        self.throughput
+    }
+
+    /// Per-SLO-class breakdown, [`Priority::High`] first.
+    pub fn classes(&self) -> &[ClassReport; 2] {
+        &self.classes
+    }
+
+    /// Requests served per service level (index 0 = most accurate).
+    pub fn level_served(&self) -> &[u64] {
+        &self.level_served
+    }
+
+    /// Requests served per executing lane.
+    pub fn lane_served(&self) -> &[u64] {
+        &self.lane_served
+    }
+
+    /// Requests each lane executed out of stolen batches.
+    pub fn lane_steals(&self) -> &[u64] {
+        &self.lane_steals
+    }
+
+    /// Highest queue depth each lane ever reached.
+    pub fn lane_queue_hwm(&self) -> &[u64] {
+        &self.lane_queue_hwm
+    }
+
+    /// Mean relative batch execution-time prediction error, percent
+    /// (`NaN` until a warmed-up batch completes).
+    pub fn predicted_error_pct(&self) -> f64 {
+        self.predicted_error_pct
+    }
+
     /// Fraction of completed requests that missed their deadline.
     pub fn miss_rate(&self) -> f64 {
         if self.completed == 0 {
@@ -487,14 +809,14 @@ mod tests {
         assert!(stats.latencies.samples_us.len() < MAX_LATENCY_SAMPLES);
         let report = stats.report();
         // Counters stay exact through decimation, including the maximum.
-        assert_eq!(report.completed, total as u64);
-        assert_eq!(report.max_ms, total as f64 / 1e3);
+        assert_eq!(report.completed(), total as u64);
+        assert_eq!(report.max_ms(), total as f64 / 1e3);
         // Percentiles stay representative of the uniform 1..=total ramp.
         let mid = total as f64 / 1e3 / 2.0;
         assert!(
-            (report.p50_ms - mid).abs() < mid * 0.05,
+            (report.p50_ms() - mid).abs() < mid * 0.05,
             "{}",
-            report.p50_ms
+            report.p50_ms()
         );
     }
 
@@ -509,15 +831,15 @@ mod tests {
         stats.record_batch(1, FlushReason::Idle, t0 + Duration::from_millis(20), 0);
         stats.record_response(Duration::from_millis(2), false, Priority::Normal, 0, 1.0, 0);
         let report = stats.report();
-        assert_eq!(report.completed, 3);
-        assert_eq!(report.batches, 2);
-        assert_eq!(report.deadline_misses, 1);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.batches(), 2);
+        assert_eq!(report.deadline_misses(), 1);
         assert!((report.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
-        assert_eq!(report.batch_histogram, vec![(1, 1), (2, 1)]);
-        assert!((report.mean_batch - 1.5).abs() < 1e-12);
-        assert_eq!(report.p50_ms, 4.0);
-        assert_eq!(report.max_ms, 8.0);
-        assert!(report.throughput > 0.0);
+        assert_eq!(report.batch_histogram(), vec![(1, 1), (2, 1)]);
+        assert!((report.mean_batch() - 1.5).abs() < 1e-12);
+        assert_eq!(report.p50_ms(), 4.0);
+        assert_eq!(report.max_ms(), 8.0);
+        assert!(report.throughput() > 0.0);
     }
 
     #[test]
@@ -531,38 +853,38 @@ mod tests {
         let high = report.class(Priority::High);
         assert_eq!(
             (
-                high.completed,
-                high.deadline_misses,
-                high.sheds,
-                high.degraded
+                high.completed(),
+                high.deadline_misses(),
+                high.sheds(),
+                high.degraded()
             ),
             (1, 0, 0, 0)
         );
-        assert!((high.mean_keep - 1.0).abs() < 1e-12);
+        assert!((high.mean_keep() - 1.0).abs() < 1e-12);
         let normal = report.class(Priority::Normal);
         assert_eq!(
             (
-                normal.completed,
-                normal.deadline_misses,
-                normal.sheds,
-                normal.degraded
+                normal.completed(),
+                normal.deadline_misses(),
+                normal.sheds(),
+                normal.degraded()
             ),
             (2, 1, 1, 2)
         );
-        assert!((normal.mean_keep - 0.7).abs() < 1e-12);
+        assert!((normal.mean_keep() - 0.7).abs() < 1e-12);
         assert!((normal.miss_rate() - 0.5).abs() < 1e-12);
         assert_eq!(report.sheds(), 1);
-        assert_eq!(report.level_served, vec![1, 2]);
+        assert_eq!(report.level_served(), vec![1, 2]);
     }
 
     #[test]
     fn prediction_error_averages_over_batches() {
         let mut stats = Stats::new(1, 1);
-        assert!(stats.report().predicted_error_pct.is_nan());
+        assert!(stats.report().predicted_error_pct().is_nan());
         stats.record_prediction_error(Duration::from_millis(11), Duration::from_millis(10));
         stats.record_prediction_error(Duration::from_millis(9), Duration::from_millis(10));
         let report = stats.report();
-        assert!((report.predicted_error_pct - 10.0).abs() < 1e-9);
+        assert!((report.predicted_error_pct() - 10.0).abs() < 1e-9);
     }
 
     #[test]
@@ -581,11 +903,11 @@ mod tests {
         }
         let report = stats.report();
         assert_eq!(report.lanes(), 2);
-        assert_eq!(report.lane_served, vec![3, 2]);
-        assert_eq!(report.lane_steals, vec![0, 2]);
+        assert_eq!(report.lane_served(), vec![3, 2]);
+        assert_eq!(report.lane_steals(), vec![0, 2]);
         assert_eq!(report.stolen(), 2);
-        assert_eq!(report.flushes.steal, 1);
+        assert_eq!(report.flushes().steal, 1);
         // Every stolen request still lands in the per-level row.
-        assert_eq!(report.level_served, vec![5]);
+        assert_eq!(report.level_served(), vec![5]);
     }
 }

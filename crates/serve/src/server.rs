@@ -44,20 +44,30 @@
 //! lanes steal from draining ones), then the lane threads exit. Admission
 //! can refuse, but nothing accepted is ever dropped.
 
-use crate::report::{FlushReason, ServeReport, Stats};
+use crate::metrics::{LaneMetrics, ServeMetrics};
+use crate::report::{FlushReason, ServeReport};
 use crate::request::{InferRequest, InferResponse, Priority, ResponseSlot, SubmitError, Ticket};
+use heatvit::telemetry::{Gauge, Registry, SpanRecorder};
 use heatvit::{CostProfile, Engine, InferenceModel, LatencyModel, MeasuredEwma};
 use heatvit_tensor::Tensor;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Upper clamp applied when [`LaneCount::Auto`] resolves: auto-sizing never
-/// spawns more than this many lanes even on very wide machines (each lane
-/// is a full batcher/executor thread; an explicit [`LaneCount::Fixed`] can
-/// still go higher deliberately).
+/// spawns more than this many lanes even on very wide machines (an explicit
+/// [`LaneCount::Fixed`] can still go higher deliberately).
+///
+/// Deliberately far below `heatvit::MAX_AUTO_THREADS` (64): an engine
+/// worker is a cheap scoped thread that lives for one batch, so
+/// over-provisioning costs little, while each lane is a long-lived OS
+/// thread owning a bounded queue, two condvars, and a steal-scan loop —
+/// idle lanes still wake every [`StealPolicy::poll`] to scan the other
+/// lanes' depths, so lane over-provisioning has a standing cost that
+/// worker over-provisioning does not. The two caps are pinned together in
+/// `crates/serve/tests/telemetry_parity.rs`.
 pub const MAX_AUTO_LANES: usize = 8;
 
 /// Lane-count policy of a [`ServeConfig`] — how many batcher/executor
@@ -232,6 +242,13 @@ pub struct ServeConfig {
     pub assignment: LaneAssignment,
     /// Work stealing between idle and backlogged lanes.
     pub steal: StealPolicy,
+    /// Capacity of the bounded request-trace ring ([`SpanRecorder`]): the
+    /// newest spans are kept, the oldest evicted (counted as dropped).
+    pub trace_capacity: usize,
+    /// Telemetry registry the server records into; `None` builds a private
+    /// one. Pass a shared registry to land serve and engine metrics in one
+    /// exposition.
+    pub telemetry: Option<Arc<Registry>>,
 }
 
 impl Default for ServeConfig {
@@ -247,6 +264,8 @@ impl Default for ServeConfig {
             lanes: LaneCount::Fixed(1),
             assignment: LaneAssignment::RoundRobin,
             steal: StealPolicy::default(),
+            trace_capacity: 4096,
+            telemetry: None,
         }
     }
 }
@@ -255,6 +274,7 @@ impl ServeConfig {
     fn validate(&self) {
         assert!(self.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(self.trace_capacity > 0, "trace_capacity must be positive");
         if let LaneCount::Fixed(n) = self.lanes {
             assert!(n > 0, "lane count must be positive");
         }
@@ -340,8 +360,9 @@ impl LaneQueue {
 /// One lane's shared state: its bounded queue plus the lock-free signals
 /// other threads read — queue depth (steal victim selection, high-water
 /// mark) and the predicted in-flight work ledger (admission wait
-/// estimates).
-#[derive(Default)]
+/// estimates). The signals are telemetry [`Gauge`]s: the exported
+/// `heatvit_serve_lane_*` values and the coordination atomics are the
+/// same cells, so the metrics cannot drift from the mechanism.
 struct LaneShared {
     queue: Mutex<LaneQueue>,
     /// Signaled on every arrival to this lane and at shutdown; the lane
@@ -352,15 +373,28 @@ struct LaneShared {
     space: Condvar,
     /// Mirror of the queue length, maintained under the queue lock but
     /// readable without it — thieves scan depths lock-free.
-    depth: AtomicUsize,
+    depth: Arc<Gauge>,
     /// Highest queue depth ever observed on this lane.
-    depth_hwm: AtomicUsize,
+    depth_hwm: Arc<Gauge>,
     /// Predicted service µs of every request admitted to this lane and not
     /// yet resolved — the queue-wait estimate admission adds to a
     /// candidate's own service time. Charged at admission, refunded when
     /// its batch resolves (wherever it executed), so it covers queued,
     /// pending, and currently executing work.
-    inflight_us: AtomicU64,
+    inflight_us: Arc<Gauge>,
+}
+
+impl LaneShared {
+    fn new(metrics: &LaneMetrics) -> Self {
+        Self {
+            queue: Mutex::new(LaneQueue::default()),
+            arrived: Condvar::new(),
+            space: Condvar::new(),
+            depth: Arc::clone(&metrics.depth),
+            depth_hwm: Arc::clone(&metrics.depth_hwm),
+            inflight_us: Arc::clone(&metrics.inflight_us),
+        }
+    }
 }
 
 /// State shared between client threads and the lane threads.
@@ -372,15 +406,15 @@ struct Shared<M: InferenceModel> {
     lanes: Vec<LaneShared>,
     latency: Arc<dyn LatencyModel>,
     config: ServeConfig,
-    stats: Mutex<Stats>,
+    /// The telemetry surface every observation lands in — reports are
+    /// materialized from its registry snapshots; no locked accumulator
+    /// sits on the request path.
+    metrics: ServeMetrics,
     /// Per level: `true` once its first batch has fed the latency model —
     /// before that, a prediction-error sample would only measure the
     /// prior's cold start. Shared across lanes (any lane can run a level's
     /// first batch).
     warmed: Vec<AtomicBool>,
-    /// `true` once the first submission has opened the stats window, so
-    /// the per-submit hot path never touches the stats lock again.
-    window_opened: AtomicBool,
 }
 
 /// A serving front-end over one or more model backends. See the module
@@ -407,7 +441,7 @@ struct Shared<M: InferenceModel> {
 /// let response = ticket.wait();
 /// assert_eq!(response.logits.dims(), &[1, 3]);
 /// let report = server.shutdown();
-/// assert_eq!(report.completed, 1);
+/// assert_eq!(report.completed(), 1);
 /// ```
 pub struct Server<M: InferenceModel + 'static = heatvit::Backend> {
     shared: Arc<Shared<M>>,
@@ -450,6 +484,7 @@ impl<M: InferenceModel + 'static> Server<M> {
     ) -> Self {
         config.validate();
         assert!(!models.is_empty(), "a server needs at least one backend");
+        let registry = config.telemetry.clone().unwrap_or_default();
         let lane_count = config.lanes.resolve();
         // Engines are shared across lanes; retain one warm scratch per
         // worker per lane so concurrent lanes batching into the same level
@@ -464,6 +499,7 @@ impl<M: InferenceModel + 'static> Server<M> {
                     engine: Engine::builder(model)
                         .config(config.engine)
                         .scratch_retention(retention)
+                        .telemetry(Arc::clone(&registry))
                         .build(),
                     profile,
                     keep,
@@ -482,15 +518,25 @@ impl<M: InferenceModel + 'static> Server<M> {
         }
         let level_count = levels.len();
         let home = config.assignment.home_map(level_count, lane_count);
+        let variants: Vec<String> = levels
+            .iter()
+            .map(|level| level.engine.model().variant().to_string())
+            .collect();
+        let metrics = ServeMetrics::new(
+            registry,
+            config.trace_capacity,
+            &variants,
+            lane_count,
+            config.max_batch,
+        );
         let shared = Arc::new(Shared {
             levels,
             home,
-            lanes: (0..lane_count).map(|_| LaneShared::default()).collect(),
+            lanes: metrics.lanes.iter().map(LaneShared::new).collect(),
             latency,
             config,
-            stats: Mutex::new(Stats::new(level_count, lane_count)),
+            metrics,
             warmed: (0..level_count).map(|_| AtomicBool::new(false)).collect(),
-            window_opened: AtomicBool::new(false),
         });
         let lanes = (0..lane_count)
             .map(|index| {
@@ -555,11 +601,7 @@ impl<M: InferenceModel + 'static> Server<M> {
                 shared
                     .latency
                     .predict_batch(&level.profile, max_batch, level.engine.threads());
-            let wait = Duration::from_micros(
-                shared.lanes[shared.home[index]]
-                    .inflight_us
-                    .load(Ordering::Relaxed),
-            );
+            let wait = Duration::from_micros(shared.lanes[shared.home[index]].inflight_us.get());
             let cost = (svc.as_micros() as u64 / max_batch as u64).max(1);
             (cost, wait + svc)
         };
@@ -613,12 +655,7 @@ impl<M: InferenceModel + 'static> Server<M> {
                 if !open {
                     return Err(SubmitError::Closed(request));
                 }
-                let class = request.priority;
-                shared
-                    .stats
-                    .lock()
-                    .expect("serve stats poisoned")
-                    .record_shed(class);
+                shared.metrics.record_shed(request.priority, predicted);
                 return Err(SubmitError::Shed { request, predicted });
             }
         };
@@ -635,19 +672,11 @@ impl<M: InferenceModel + 'static> Server<M> {
             return Err(SubmitError::Closed(request));
         }
         // Open the serving window before the request becomes visible to a
-        // lane (the lane threads never take the stats lock while holding a
-        // queue lock, so the queue→stats order here cannot deadlock) —
-        // otherwise a fast lane could record the first batch completion as
-        // the window start, skewing throughput. The atomic swap keeps this
-        // off the steady-state submit path: the stats lock is taken exactly
-        // once per server lifetime.
-        if !shared.window_opened.swap(true, Ordering::Relaxed) {
-            shared
-                .stats
-                .lock()
-                .expect("serve stats poisoned")
-                .record_first_submit(now);
-        }
+        // lane — otherwise a fast lane could record the first batch
+        // completion as the window start, skewing throughput. Lock-free:
+        // at most one submitter's CAS lands.
+        shared.metrics.record_first_submit(now);
+        shared.metrics.record_admission(level);
         let slot = Arc::new(ResponseSlot::default());
         let pending = Pending {
             image: request.image,
@@ -664,10 +693,10 @@ impl<M: InferenceModel + 'static> Server<M> {
             Priority::High => queue.high.push_back(pending),
             Priority::Normal => queue.normal.push_back(pending),
         }
-        lane.inflight_us.fetch_add(cost_us, Ordering::Relaxed);
-        let depth = queue.len();
-        lane.depth.store(depth, Ordering::Release);
-        lane.depth_hwm.fetch_max(depth, Ordering::Relaxed);
+        lane.inflight_us.add(cost_us);
+        let depth = queue.len() as u64;
+        lane.depth.set(depth);
+        lane.depth_hwm.set_max(depth);
         queue.last_arrival = Some(now);
         drop(queue);
         lane.arrived.notify_all();
@@ -686,21 +715,24 @@ impl<M: InferenceModel + 'static> Server<M> {
         }
     }
 
-    /// Snapshot of everything served so far (callable while running).
+    /// Snapshot of everything served so far (callable while running) —
+    /// materialized from the telemetry registry via
+    /// [`ServeReport::from_snapshot`].
     pub fn report(&self) -> ServeReport {
-        let mut report = self
-            .shared
-            .stats
-            .lock()
-            .expect("serve stats poisoned")
-            .report();
-        report.lane_queue_hwm = self
-            .shared
-            .lanes
-            .iter()
-            .map(|lane| lane.depth_hwm.load(Ordering::Relaxed) as u64)
-            .collect();
-        report
+        ServeReport::from_snapshot(&self.shared.metrics.registry().snapshot())
+    }
+
+    /// The telemetry registry every serve (and engine) observation lands
+    /// in. Snapshot or expose it directly; [`Server::report`] is a view
+    /// over the same data.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        self.shared.metrics.registry()
+    }
+
+    /// The bounded per-request/per-batch trace ring (capacity
+    /// [`ServeConfig::trace_capacity`]).
+    pub fn recorder(&self) -> &Arc<SpanRecorder> {
+        self.shared.metrics.recorder()
     }
 
     /// The most accurate (level 0) model being served.
@@ -824,7 +856,7 @@ fn try_steal<M: InferenceModel>(shared: &Shared<M>, thief: usize) -> Option<(usi
         if index == thief {
             continue;
         }
-        let depth = lane.depth.load(Ordering::Acquire);
+        let depth = lane.depth.get() as usize;
         if depth > keep && best.is_none_or(|(_, d)| depth > d) {
             best = Some((index, depth));
         }
@@ -843,7 +875,7 @@ fn try_steal<M: InferenceModel>(shared: &Shared<M>, thief: usize) -> Option<(usi
     while stolen.len() < take && queue.peek_next_level() == Some(level) {
         stolen.push(queue.pop_next().expect("peeked request vanished"));
     }
-    victim.depth.store(queue.len(), Ordering::Release);
+    victim.depth.set(queue.len() as u64);
     drop(queue);
     victim.space.notify_all();
     Some((level, stolen))
@@ -861,7 +893,7 @@ fn lane_loop<M: InferenceModel + 'static>(shared: Arc<Shared<M>>, lane_index: us
             let mut queue = lane.queue.lock().expect("lane queue poisoned");
             loop {
                 if top_up(&mut queue, &mut pending, config.max_batch) {
-                    lane.depth.store(queue.len(), Ordering::Release);
+                    lane.depth.set(queue.len() as u64);
                     lane.space.notify_all();
                 }
                 if let Some(full) = pending.iter().position(|b| b.len() >= config.max_batch) {
@@ -982,15 +1014,14 @@ fn execute_batch<M: InferenceModel>(
     // admission charged, even when this batch was stolen. Lock-free: the
     // ledgers are atomics.
     for request in pending.iter() {
-        let ledger = &shared.lanes[request.lane].inflight_us;
-        let _ = ledger.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-            Some(v.saturating_sub(request.cost_us))
-        });
+        shared.lanes[request.lane]
+            .inflight_us
+            .sub_saturating(request.cost_us);
     }
 
-    // Build every response (tensor copies included) before touching the
-    // stats lock, and resolve the tickets after releasing it: submitters
-    // contend on that lock, so it only ever guards cheap arithmetic.
+    // Build every response (tensor copies included) before recording, and
+    // resolve the tickets after: ticket waiters should never observe a
+    // response whose telemetry has not landed yet.
     let classes = out.logits.dims()[1];
     let predictions = out.predictions();
     let mut tokens = out.tokens_per_block.into_iter();
@@ -1017,22 +1048,27 @@ fn execute_batch<M: InferenceModel>(
             (request.slot, response, request.class, request.level)
         })
         .collect();
-    {
-        let mut stats = shared.stats.lock().expect("serve stats poisoned");
-        stats.record_batch(batch_size, reason, done, lane_index);
-        if record_error {
-            stats.record_prediction_error(predicted_batch, measured);
-        }
-        for (_, response, class, level_idx) in &resolved {
-            stats.record_response(
-                response.latency,
-                response.deadline_missed,
-                *class,
-                *level_idx,
-                level.keep,
-                lane_index,
-            );
-        }
+    shared.metrics.record_batch(
+        batch_size,
+        reason,
+        done,
+        lane_index,
+        level_index,
+        predicted_batch,
+        measured,
+        record_error,
+    );
+    for (_, response, class, level_idx) in &resolved {
+        shared.metrics.record_response(
+            response.latency,
+            response.queued,
+            response.deadline_missed,
+            *class,
+            *level_idx,
+            level.keep,
+            lane_index,
+            batch_size,
+        );
     }
     for (slot, response, _, _) in resolved {
         slot.fill(response);

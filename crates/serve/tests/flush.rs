@@ -71,9 +71,9 @@ fn max_batch_flushes_without_waiting_for_timers() {
         assert_eq!(response.flush, FlushReason::MaxBatch);
     }
     let report = server.shutdown();
-    assert_eq!(report.completed, 8);
-    assert_eq!(report.flushes.max_batch, 2);
-    assert_eq!(report.batch_histogram, vec![(4, 2)]);
+    assert_eq!(report.completed(), 8);
+    assert_eq!(report.flushes().max_batch, 2);
+    assert_eq!(report.batch_histogram(), vec![(4, 2)]);
 }
 
 #[test]
@@ -101,8 +101,8 @@ fn deadline_proximity_flushes_a_partial_batch() {
     // It flushed near the deadline, not at the 60 s idle horizon.
     assert!(submitted.elapsed() < Duration::from_secs(20));
     let report = server.shutdown();
-    assert_eq!(report.flushes.deadline, 1);
-    assert_eq!(report.completed, 1);
+    assert_eq!(report.flushes().deadline, 1);
+    assert_eq!(report.completed(), 1);
 }
 
 #[test]
@@ -129,9 +129,9 @@ fn idle_flush_serves_trickle_traffic() {
         assert_eq!(response.flush, FlushReason::Idle);
     }
     let report = server.shutdown();
-    assert_eq!(report.completed, 3);
-    assert!(report.flushes.idle >= 1);
-    assert_eq!(report.flushes.deadline, 0);
+    assert_eq!(report.completed(), 3);
+    assert!(report.flushes().idle >= 1);
+    assert_eq!(report.flushes().deadline, 0);
 }
 
 #[test]
@@ -152,11 +152,11 @@ fn shutdown_drains_every_queued_request() {
         .map(|img| server.submit(request(img, FAR_FUTURE)).expect("open"))
         .collect();
     let report = server.shutdown();
-    assert_eq!(report.completed, 10, "shutdown dropped requests");
+    assert_eq!(report.completed(), 10, "shutdown dropped requests");
     assert!(
-        report.flushes.shutdown >= 1,
+        report.flushes().shutdown >= 1,
         "the sub-max_batch remainder can only flush via the shutdown drain: {:?}",
-        report.flushes
+        report.flushes()
     );
     // Every ticket resolves even though shutdown already returned.
     for ticket in tickets {
@@ -185,7 +185,7 @@ fn malformed_images_are_refused_at_submission_not_in_the_batcher() {
         .expect("open")
         .wait();
     assert_eq!(response.logits.dims(), &[1, 4]);
-    assert_eq!(server.shutdown().completed, 1);
+    assert_eq!(server.shutdown().completed(), 1);
 }
 
 #[test]
@@ -200,7 +200,7 @@ fn submissions_after_close_are_refused_with_the_request_returned() {
         other => panic!("expected Closed, got {other:?}"),
     }
     let report = server.shutdown();
-    assert_eq!(report.completed, 0);
+    assert_eq!(report.completed(), 0);
 }
 
 /// The acceptance gate: served outputs bitwise identical to
@@ -225,7 +225,7 @@ fn served_outputs_are_bitwise_identical_to_engine_infer_batch() {
         .collect();
     let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
     let report = server.shutdown();
-    assert_eq!(report.completed, 9);
+    assert_eq!(report.completed(), 9);
 
     for (i, response) in responses.iter().enumerate() {
         assert_eq!(
@@ -263,7 +263,7 @@ fn mixed_priorities_all_complete() {
     for ticket in tickets {
         ticket.wait();
     }
-    assert_eq!(server.shutdown().completed, 6);
+    assert_eq!(server.shutdown().completed(), 6);
 }
 
 #[test]
@@ -290,5 +290,5 @@ fn concurrent_submitters_share_one_server() {
             });
         }
     });
-    assert_eq!(server.shutdown().completed, 4);
+    assert_eq!(server.shutdown().completed(), 4);
 }

@@ -77,8 +77,8 @@ fn served_outputs_are_bitwise_identical_at_1_2_and_4_lanes() {
             .collect();
         let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
         let report = server.shutdown();
-        assert_eq!(report.completed, 12, "{lanes} lanes dropped requests");
-        assert_eq!(report.lane_served.iter().sum::<u64>(), 12);
+        assert_eq!(report.completed(), 12, "{lanes} lanes dropped requests");
+        assert_eq!(report.lane_served().iter().sum::<u64>(), 12);
         for (i, response) in responses.iter().enumerate() {
             assert!(response.lane < lanes);
             assert_eq!(
@@ -124,19 +124,23 @@ fn stealing_drains_a_backlogged_lane_without_loss_or_double_service() {
         })
         .collect();
     let report = server.shutdown();
-    assert_eq!(report.completed, requests as u64, "drain dropped requests");
-    assert_eq!(report.level_served, vec![requests as u64]);
-    assert_eq!(report.lane_served.iter().sum::<u64>(), requests as u64);
+    assert_eq!(
+        report.completed(),
+        requests as u64,
+        "drain dropped requests"
+    );
+    assert_eq!(report.level_served(), vec![requests as u64]);
+    assert_eq!(report.lane_served().iter().sum::<u64>(), requests as u64);
     // Lane 1 has no home traffic: anything it served, it stole.
-    assert_eq!(report.lane_served[1], report.lane_steals[1]);
-    assert_eq!(report.lane_steals[0], 0, "lane 0 had nothing to steal");
+    assert_eq!(report.lane_served()[1], report.lane_steals()[1]);
+    assert_eq!(report.lane_steals()[0], 0, "lane 0 had nothing to steal");
     assert!(
         report.stolen() > 0,
         "a 48-deep backlog against an idle lane must get stolen from: {:?}",
-        report.lane_served
+        report.lane_served()
     );
     // Steal flushes carry at most max_batch (2) requests each.
-    assert!(report.flushes.steal >= report.lane_steals[1].div_ceil(2));
+    assert!(report.flushes().steal >= report.lane_steals()[1].div_ceil(2));
     // Every ticket resolved exactly once: `completed == submitted` rules
     // out drops, the slots' double-fill debug assertion rules out double
     // service, and each response is still present and well-formed.
@@ -148,7 +152,7 @@ fn stealing_drains_a_backlogged_lane_without_loss_or_double_service() {
         }
     }
     // The backlog's high-water mark is visible on the victim lane.
-    assert!(report.lane_queue_hwm[0] > 0);
+    assert!(report.lane_queue_hwm()[0] > 0);
 }
 
 /// Stealing disabled: the idle lane must leave the backlog alone and every
@@ -180,9 +184,9 @@ fn disabled_stealing_pins_work_to_the_home_lane() {
         assert_eq!(ticket.wait().lane, 0, "home lane is 0 for the only level");
     }
     let report = server.shutdown();
-    assert_eq!(report.lane_served, vec![12, 0]);
+    assert_eq!(report.lane_served(), vec![12, 0]);
     assert_eq!(report.stolen(), 0);
-    assert_eq!(report.flushes.steal, 0);
+    assert_eq!(report.flushes().steal, 0);
 }
 
 /// A latency model with a fixed prediction per variant name, so admission
@@ -272,9 +276,9 @@ fn int8_and_float_levels_batch_on_their_own_lanes() {
         }
     }
     let report = server.shutdown();
-    assert_eq!(report.completed, 12);
-    assert_eq!(report.level_served, vec![6, 6]);
-    assert_eq!(report.lane_served, vec![6, 6]);
+    assert_eq!(report.completed(), 12);
+    assert_eq!(report.level_served(), vec![6, 6]);
+    assert_eq!(report.lane_served(), vec![6, 6]);
     assert_eq!(
         report.stolen(),
         0,

@@ -101,10 +101,10 @@ fn high_is_pinned_to_the_best_level_and_never_shed() {
     assert_eq!(ticket.wait().level, 0);
     let report = server.shutdown();
     let high = report.class(Priority::High);
-    assert_eq!(high.completed, 2);
-    assert_eq!(high.sheds, 0);
-    assert_eq!(high.degraded, 0);
-    assert!((high.mean_keep - 1.0).abs() < 1e-12);
+    assert_eq!(high.completed(), 2);
+    assert_eq!(high.sheds(), 0);
+    assert_eq!(high.degraded(), 0);
+    assert!((high.mean_keep() - 1.0).abs() < 1e-12);
 }
 
 #[test]
@@ -120,13 +120,13 @@ fn normal_degrades_to_the_level_that_makes_its_deadline() {
     assert!(response.predicted > Duration::ZERO);
     let report = server.shutdown();
     let normal = report.class(Priority::Normal);
-    assert_eq!(normal.completed, 1);
-    assert_eq!(normal.degraded, 1);
-    assert_eq!(normal.sheds, 0);
+    assert_eq!(normal.completed(), 1);
+    assert_eq!(normal.degraded(), 1);
+    assert_eq!(normal.sheds(), 0);
     // The degraded level's accuracy proxy (keep 0.6 from block 1 on) shows
     // up in the class row.
-    assert!(normal.mean_keep < 1.0);
-    assert_eq!(report.level_served, vec![0, 1]);
+    assert!(normal.mean_keep() < 1.0);
+    assert_eq!(report.level_served(), vec![0, 1]);
 }
 
 #[test]
@@ -138,7 +138,7 @@ fn normal_keeps_the_best_level_when_unloaded() {
         .expect("level 0 makes a generous deadline");
     assert_eq!(ticket.wait().level, 0);
     let report = server.shutdown();
-    assert_eq!(report.class(Priority::Normal).degraded, 0);
+    assert_eq!(report.class(Priority::Normal).degraded(), 0);
 }
 
 #[test]
@@ -154,9 +154,9 @@ fn normal_is_shed_only_when_every_level_predicts_a_miss() {
         other => panic!("expected Shed, got {other}"),
     }
     let report = server.shutdown();
-    assert_eq!(report.class(Priority::Normal).sheds, 1);
+    assert_eq!(report.class(Priority::Normal).sheds(), 1);
     assert_eq!(report.sheds(), 1);
-    assert_eq!(report.completed, 0);
+    assert_eq!(report.completed(), 0);
 }
 
 #[test]
@@ -172,8 +172,8 @@ fn best_effort_mode_degrades_to_the_cheapest_level_instead_of_shedding() {
     assert_eq!(response.level, 1);
     assert!(response.deadline_missed);
     let report = server.shutdown();
-    assert_eq!(report.class(Priority::Normal).sheds, 0);
-    assert_eq!(report.class(Priority::Normal).completed, 1);
+    assert_eq!(report.class(Priority::Normal).sheds(), 0);
+    assert_eq!(report.class(Priority::Normal).completed(), 1);
 }
 
 #[test]
@@ -188,5 +188,5 @@ fn disabled_slo_admits_everything_at_the_best_level() {
     assert_eq!(ticket.wait().level, 0);
     let report = server.shutdown();
     assert_eq!(report.sheds(), 0);
-    assert_eq!(report.level_served, vec![1, 0]);
+    assert_eq!(report.level_served(), vec![1, 0]);
 }

@@ -1,13 +1,22 @@
-//! Minimal hand-rolled JSON emission for the bench binaries.
+//! Minimal hand-rolled JSON emission plus the [`Emitter`] the bench
+//! binaries share.
 //!
 //! The workspace deliberately carries no serialization dependency, and the
-//! bench reports are flat: a handful of metadata fields plus an array of
+//! bench reports are flat: a handful of metadata fields plus arrays of
 //! per-backend objects. This module provides just enough — an ordered
-//! [`JsonObject`] builder and an [`array()`] joiner — to emit
-//! `BENCH_run_all.json` / `BENCH_serve.json` without pulling in serde.
-//! Numbers are written with at most four decimals (trailing zeros
-//! trimmed) so committed reports stay readable in diffs; non-finite
-//! floats become `null` rather than invalid JSON.
+//! [`JsonObject`] builder, an [`array()`] joiner, and the [`Emitter`] that
+//! standardizes the `--json <path>` protocol (leading `"bench"` key, file
+//! write, `wrote <path>` confirmation) — to emit `BENCH_run_all.json` /
+//! `BENCH_serve.json` without pulling in serde. Numbers are written with
+//! at most four decimals (trailing zeros trimmed) so committed reports
+//! stay readable in diffs; non-finite floats become `null` rather than
+//! invalid JSON.
+//!
+//! This module started life in `heatvit-bench`; it lives here so the
+//! telemetry exposition ([`crate::expo`]) and the bench binaries share one
+//! JSON dialect (`heatvit-bench` re-exports it as `bench::json`).
+
+use crate::registry::Snapshot;
 
 /// The `--json <path>` report destination from the process arguments, if
 /// requested. Shared by `run_all` and `serve_demo` so both binaries parse
@@ -86,7 +95,7 @@ pub fn array(items: impl IntoIterator<Item = String>) -> String {
 /// A JSON string literal: quoted, with `"`, `\`, and control characters
 /// escaped. Bench labels are ASCII, but escaping keeps the output valid
 /// JSON for any input.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -106,7 +115,7 @@ fn escape(s: &str) -> String {
 
 /// At most four decimals, trailing zeros (and a bare trailing dot)
 /// trimmed; non-finite values become `null`.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_string();
     }
@@ -119,9 +128,85 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// The one JSON report pipeline both bench binaries run through: a
+/// [`JsonObject`] whose first field is always `"bench": <name>`, a
+/// [`Emitter::metrics`] hook that embeds a telemetry [`Snapshot`], and a
+/// [`Emitter::write_if_requested`] terminal that honors the shared
+/// `--json <path>` protocol (write the report plus trailing newline, print
+/// `wrote <path>`).
+#[derive(Debug)]
+pub struct Emitter {
+    object: JsonObject,
+}
+
+impl Emitter {
+    /// Starts a report for the bench named `bench` (the leading key every
+    /// committed `BENCH_*.json` carries).
+    pub fn new(bench: &str) -> Self {
+        Self {
+            object: JsonObject::new().str("bench", bench),
+        }
+    }
+
+    /// Adds a floating-point field.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.object = self.object.num(key, value);
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.object = self.object.int(key, value);
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.object = self.object.str(key, value);
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim.
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.object = self.object.raw(key, value);
+        self
+    }
+
+    /// Embeds a telemetry snapshot under `key` (the scalar rendering from
+    /// [`crate::expo::render_json`]).
+    pub fn metrics(mut self, key: &str, snapshot: &Snapshot) -> Self {
+        self.object = self.object.raw(key, crate::expo::render_json(snapshot));
+        self
+    }
+
+    /// Renders the report as a single JSON line (no trailing newline).
+    pub fn build(self) -> String {
+        self.object.build()
+    }
+
+    /// Writes the report to the `--json <path>` destination if the process
+    /// was given one (trailing newline included, `wrote <path>` printed);
+    /// returns whether a file was written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination cannot be written.
+    pub fn write_if_requested(self) -> bool {
+        let Some(path) = path_from_args() else {
+            return false;
+        };
+        let report = self.build();
+        std::fs::write(&path, report + "\n")
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        println!("\nwrote {}", path.display());
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::Registry;
 
     #[test]
     fn object_renders_fields_in_insertion_order() {
@@ -165,5 +250,20 @@ mod tests {
         let inner = JsonObject::new().str("k", "v").build();
         let outer = JsonObject::new().raw("rows", array(vec![inner])).build();
         assert_eq!(outer, "{\"rows\": [\n  {\"k\": \"v\"}\n]}");
+    }
+
+    #[test]
+    fn emitter_leads_with_the_bench_key_and_embeds_snapshots() {
+        let registry = Registry::new();
+        registry
+            .counter("hits", &[("lane", "0")], "per-lane hits")
+            .add(3);
+        let report = Emitter::new("demo")
+            .int("requests", 7)
+            .metrics("telemetry", &registry.snapshot())
+            .build();
+        assert!(report.starts_with(r#"{"bench": "demo", "requests": 7"#));
+        assert!(report.contains(r#""name": "hits""#));
+        assert!(report.contains(r#""lane": "0""#));
     }
 }

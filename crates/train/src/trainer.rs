@@ -4,6 +4,7 @@
 use crate::config::TrainConfig;
 use crate::loss::{distillation_targets, LatencySparsityLoss};
 use crate::report::{TrainReport, TrainRun};
+use heatvit::telemetry::Registry;
 use heatvit::{Engine, InferenceModel};
 use heatvit_data::augment::random_augment;
 use heatvit_data::{Loader, SyntheticDataset};
@@ -13,6 +14,7 @@ use heatvit_selector::{PruneScratch, PrunedViT};
 use heatvit_vit::{InferScratch, VisionTransformer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Seed-domain separator so the Gumbel/augmentation stream never collides
 /// with the loader shuffle stream derived from the same user seed.
@@ -44,10 +46,14 @@ struct EpochSums {
 ///
 /// Both fits are bitwise deterministic in `(config, datasets, model
 /// seed)` — the loader shuffle, Gumbel draws, and augmentation all derive
-/// from [`TrainConfig::seed`], and every step runs on one thread.
+/// from [`TrainConfig::seed`], and every step runs on one thread. An
+/// attached telemetry registry (see [`Trainer::with_telemetry`]) is purely
+/// observational: per-epoch loss/keep/throughput gauges are recorded after
+/// each epoch report is built and never feed back into the arithmetic.
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainConfig,
+    registry: Option<Arc<Registry>>,
 }
 
 impl Trainer {
@@ -59,12 +65,76 @@ impl Trainer {
     /// [`TrainConfig::validate`]).
     pub fn new(config: TrainConfig) -> Self {
         config.validate();
-        Self { config }
+        Self {
+            config,
+            registry: None,
+        }
+    }
+
+    /// Attaches a telemetry registry; every fit then records a
+    /// `heatvit_train_*` per-epoch series (loss, validation top-1, mean
+    /// keep, measured throughput) labeled by fit kind and epoch, plus
+    /// epoch/step totals.
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
     /// The validated configuration.
     pub fn config(&self) -> &TrainConfig {
         &self.config
+    }
+
+    /// Records one epoch's report into the attached registry (no-op when
+    /// telemetry is not attached).
+    fn record_epoch(&self, fit: &'static str, report: &TrainReport) {
+        let Some(registry) = &self.registry else {
+            return;
+        };
+        registry
+            .counter(
+                "heatvit_train_epochs_total",
+                &[("fit", fit)],
+                "Epochs completed by this trainer.",
+            )
+            .inc();
+        registry
+            .gauge(
+                "heatvit_train_steps",
+                &[("fit", fit)],
+                "Cumulative optimizer steps executed.",
+            )
+            .set(report.steps);
+        let epoch = report.epoch.to_string();
+        let labels = &[("fit", fit), ("epoch", epoch.as_str())][..];
+        registry
+            .float_gauge(
+                "heatvit_train_loss",
+                labels,
+                "Mean composed objective over the epoch's training samples.",
+            )
+            .set(f64::from(report.loss));
+        registry
+            .float_gauge(
+                "heatvit_train_val_top1",
+                labels,
+                "Validation top-1 accuracy after the epoch.",
+            )
+            .set(f64::from(report.val_top1));
+        registry
+            .float_gauge(
+                "heatvit_train_mean_keep",
+                labels,
+                "Mean hard keep fraction across selectors (1.0 for dense).",
+            )
+            .set(f64::from(report.overall_keep()));
+        registry
+            .float_gauge(
+                "heatvit_train_val_images_per_s",
+                labels,
+                "Measured validation throughput of the epoch (wall-clock).",
+            )
+            .set(report.val_images_per_sec);
     }
 
     /// Total optimizer steps the run will execute (epochs × batches, capped
@@ -232,11 +302,13 @@ impl Trainer {
                     // convergence gates.
                     capped = total_steps < planned_uncapped;
                     let report = self.report_epoch_pruned(model, val, epoch, step, last_lr, &sums);
+                    self.record_epoch("pruned", &report);
                     reports.push(report);
                     break 'epochs;
                 }
             }
             let report = self.report_epoch_pruned(model, val, epoch, step, last_lr, &sums);
+            self.record_epoch("pruned", &report);
             reports.push(report);
         }
         TrainRun {
@@ -350,11 +422,15 @@ impl Trainer {
                 step += 1;
                 if step >= total_steps {
                     capped = total_steps < planned_uncapped;
-                    reports.push(report_epoch_dense(model, val, epoch, step, last_lr, &sums));
+                    let report = report_epoch_dense(model, val, epoch, step, last_lr, &sums);
+                    self.record_epoch("dense", &report);
+                    reports.push(report);
                     break 'epochs;
                 }
             }
-            reports.push(report_epoch_dense(model, val, epoch, step, last_lr, &sums));
+            let report = report_epoch_dense(model, val, epoch, step, last_lr, &sums);
+            self.record_epoch("dense", &report);
+            reports.push(report);
         }
         TrainRun {
             reports,
@@ -545,6 +621,62 @@ mod tests {
             run.reports.iter().map(|r| r.loss).collect::<Vec<_>>()
         );
         assert!(run.last().mean_keep.is_empty());
+    }
+
+    #[test]
+    fn fit_records_per_epoch_telemetry_series() {
+        let (train, val) = tiny_data();
+        let mut model = tiny_student(6);
+        let registry = Registry::new();
+        let run = Trainer::new(tiny_config())
+            .with_telemetry(Arc::clone(&registry))
+            .fit(&mut model, None, &train, &val);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("heatvit_train_epochs_total", &[("fit", "pruned")]),
+            2
+        );
+        assert_eq!(
+            snap.gauge("heatvit_train_steps", &[("fit", "pruned")]),
+            run.steps
+        );
+        for (epoch, report) in [("0", &run.reports[0]), ("1", &run.reports[1])] {
+            let labels = &[("fit", "pruned"), ("epoch", epoch)][..];
+            assert_eq!(
+                snap.float_gauge("heatvit_train_loss", labels),
+                f64::from(report.loss)
+            );
+            assert_eq!(
+                snap.float_gauge("heatvit_train_mean_keep", labels),
+                f64::from(report.overall_keep())
+            );
+            assert!(snap.float_gauge("heatvit_train_val_images_per_s", labels) > 0.0);
+        }
+        // The dense fit labels its series separately.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut dense = VisionTransformer::new(ViTConfig::test_tiny(4), &mut rng);
+        let config = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            distill_alpha: 0.0,
+            target_keep: Vec::new(),
+            ..TrainConfig::default()
+        };
+        Trainer::new(config)
+            .with_telemetry(Arc::clone(&registry))
+            .fit_dense(&mut dense, &train, &val);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("heatvit_train_epochs_total", &[("fit", "dense")]),
+            1
+        );
+        assert_eq!(
+            snap.float_gauge(
+                "heatvit_train_mean_keep",
+                &[("fit", "dense"), ("epoch", "0")]
+            ),
+            1.0
+        );
     }
 
     #[test]
